@@ -1,0 +1,260 @@
+package tknn
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bsbf"
+	"repro/internal/graph"
+	"repro/internal/persist"
+	"repro/internal/sf"
+)
+
+// BSBF is the Binary-Search-and-Brute-Force baseline (Algorithm 1).
+// Queries are exact. It satisfies Index.
+type BSBF struct {
+	dim   int
+	inner *bsbf.Index
+	mu    sync.RWMutex
+}
+
+// NewBSBF creates an empty BSBF index.
+func NewBSBF(dim int, metric Metric) (*BSBF, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("tknn: dimension must be positive, got %d", dim)
+	}
+	if !metric.valid() {
+		return nil, fmt.Errorf("tknn: invalid metric %d", metric)
+	}
+	return &BSBF{dim: dim, inner: bsbf.New(dim, metric.internal())}, nil
+}
+
+// Add implements Index.
+func (b *BSBF) Add(v []float32, t int64) error {
+	if len(v) != b.dim {
+		return fmt.Errorf("%w: got %d, index has %d", ErrDimension, len(v), b.dim)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.inner.Append(v, t); err != nil {
+		return fmt.Errorf("%w: %v", ErrTimestampOrder, err)
+	}
+	return nil
+}
+
+// Search implements Index. Results are exact.
+func (b *BSBF) Search(q Query) ([]Result, error) {
+	if err := validateQuery(q, b.dim); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ns := b.inner.Search(q.Vector, q.K, q.Start, q.End)
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{ID: int(n.ID), Dist: n.Dist}
+	}
+	// The bsbf package does not expose timestamps individually; recover
+	// them through the window bounds: IDs are insertion indices.
+	times := timesOfBSBF(b.inner)
+	for i := range out {
+		out[i].Time = times[out[i].ID]
+	}
+	return out, nil
+}
+
+// timesOfBSBF recovers the timestamp slice; split out for testability.
+func timesOfBSBF(ix *bsbf.Index) []int64 { return ix.TimesRef() }
+
+// Len implements Index.
+func (b *BSBF) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.inner.Len()
+}
+
+// SFOptions configures the Search-and-Filtering baseline.
+type SFOptions struct {
+	// Dim is the vector dimension. Required.
+	Dim int
+	// Metric is the distance function. Default Euclidean.
+	Metric Metric
+	// Graph selects the graph construction algorithm. Default NNDescent.
+	Graph GraphAlgorithm
+	// GraphDegree is the proximity graph's neighbor count. Default 24.
+	GraphDegree int
+	// MaxCandidates is the search-time candidate cap M_C. Default
+	// 2*GraphDegree.
+	MaxCandidates int
+	// Epsilon is the search range-extension factor ε >= 1. Default 1.1.
+	Epsilon float64
+	// RebuildEvery triggers an automatic full graph rebuild once that many
+	// vectors have been added since the last build. Zero disables
+	// automatic rebuilds (call Build explicitly). SF has no incremental
+	// structure — this is the best it can do, and the contrast with MBI's
+	// amortized insertion is the point of Figure 7a.
+	RebuildEvery int
+	// Seed drives graph-build randomization. Default 1.
+	Seed int64
+}
+
+// ApplyDefaults fills unset fields with their defaults and validates.
+func (o *SFOptions) ApplyDefaults() error {
+	if o.Dim <= 0 {
+		return fmt.Errorf("tknn: SFOptions.Dim must be positive, got %d", o.Dim)
+	}
+	if !o.Metric.valid() {
+		return fmt.Errorf("tknn: invalid metric %d", o.Metric)
+	}
+	if o.GraphDegree == 0 {
+		o.GraphDegree = 24
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 2 * o.GraphDegree
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1.1
+	}
+	if o.Epsilon < 1 {
+		return fmt.Errorf("tknn: Epsilon must be >= 1, got %g", o.Epsilon)
+	}
+	if o.RebuildEvery < 0 {
+		return fmt.Errorf("tknn: RebuildEvery must be non-negative, got %d", o.RebuildEvery)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// SF is the Search-and-Filtering baseline (§3.2.2): one proximity graph
+// over the whole database, searched with time filtering. It satisfies
+// Index.
+type SF struct {
+	opts       SFOptions
+	inner      *sf.Index
+	mu         sync.RWMutex
+	sinceBuild int
+	rebuilds   int
+	rngMu      sync.Mutex
+	rng        *rand.Rand
+}
+
+// NewSF creates an empty SF index.
+func NewSF(opts SFOptions) (*SF, error) {
+	if err := opts.ApplyDefaults(); err != nil {
+		return nil, err
+	}
+	mo := MBIOptions{Dim: opts.Dim, Graph: opts.Graph, GraphDegree: opts.GraphDegree}
+	builder, err := mo.builder()
+	if err != nil {
+		return nil, err
+	}
+	return &SF{
+		opts:  opts,
+		inner: sf.New(opts.Dim, opts.Metric.internal(), builder),
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x7366)),
+	}, nil
+}
+
+// Options returns the effective (defaulted) options.
+func (s *SF) Options() SFOptions { return s.opts }
+
+// Add implements Index. Vectors added after the last Build are covered by
+// a brute-force tail scan until the next rebuild.
+func (s *SF) Add(v []float32, t int64) error {
+	if len(v) != s.opts.Dim {
+		return fmt.Errorf("%w: got %d, index has %d", ErrDimension, len(v), s.opts.Dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inner.Append(v, t); err != nil {
+		return fmt.Errorf("%w: %v", ErrTimestampOrder, err)
+	}
+	s.sinceBuild++
+	if s.opts.RebuildEvery > 0 && s.sinceBuild >= s.opts.RebuildEvery {
+		s.buildLocked()
+	}
+	return nil
+}
+
+// Build (re)constructs the proximity graph over everything added so far.
+func (s *SF) Build() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buildLocked()
+}
+
+func (s *SF) buildLocked() {
+	s.rebuilds++
+	s.inner.BuildGraph(s.opts.Seed + int64(s.rebuilds))
+	s.sinceBuild = 0
+}
+
+// Built returns how many vectors the current graph covers.
+func (s *SF) Built() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Built()
+}
+
+// Search implements Index.
+func (s *SF) Search(q Query) ([]Result, error) {
+	if err := validateQuery(q, s.opts.Dim); err != nil {
+		return nil, err
+	}
+	s.rngMu.Lock()
+	seed := s.rng.Int63()
+	s.rngMu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := graph.SearchParams{MC: s.opts.MaxCandidates, Eps: float32(s.opts.Epsilon)}
+	ns := s.inner.Search(q.Vector, q.K, q.Start, q.End, p, rand.New(rand.NewSource(seed)))
+	return toResults(ns, s.inner.Times()), nil
+}
+
+// Len implements Index.
+func (s *SF) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Len()
+}
+
+// Save serializes the index to w; LoadSF restores it.
+func (s *SF) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return persist.SaveSF(w, s.inner)
+}
+
+// LoadSF restores an index saved with SF.Save. opts must carry the same
+// Dim and Metric; graph construction settings may differ (they only apply
+// to future rebuilds).
+func LoadSF(r io.Reader, opts SFOptions) (*SF, error) {
+	if err := opts.ApplyDefaults(); err != nil {
+		return nil, err
+	}
+	mo := MBIOptions{Dim: opts.Dim, Graph: opts.Graph, GraphDegree: opts.GraphDegree}
+	builder, err := mo.builder()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := persist.LoadSF(r, builder)
+	if err != nil {
+		return nil, err
+	}
+	if inner.Metric() != opts.Metric.internal() {
+		return nil, fmt.Errorf("tknn: file has metric %v, options say %v", inner.Metric(), opts.Metric)
+	}
+	return &SF{
+		opts:  opts,
+		inner: inner,
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x7366)),
+	}, nil
+}
+
+// Internal exposes the underlying sf index for the experiment harness.
+// Not part of the stable API.
+func (s *SF) Internal() *sf.Index { return s.inner }

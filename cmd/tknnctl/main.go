@@ -1,0 +1,179 @@
+// Command tknnctl is the command-line client for a tknnd server.
+//
+//	tknnctl -server http://localhost:8080 <command>
+//
+// Commands:
+//
+//	health                         liveness check
+//	stats                          index shape
+//	add -time T -vector "1,2,3"    insert one vector
+//	load -fvecs FILE [-start-time T] [-max N]
+//	                               bulk-insert an .fvecs file (timestamps
+//	                               start at start-time and increment)
+//	search -k K -start A -end B -vector "1,2,3"
+//	                               time-restricted kNN query
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tknnctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("tknnctl", flag.ContinueOnError)
+	serverURL := global.String("server", "http://localhost:8080", "tknnd base URL")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	if global.NArg() < 1 {
+		global.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := client.New(*serverURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cmd, rest := global.Arg(0), global.Args()[1:]
+	switch cmd {
+	case "health":
+		if err := c.Health(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vectors:     %d\nblocks:      %d\ntree height: %d\ndim:         %d\nmetric:      %s\nleaf size:   %d\n",
+			st.Vectors, st.Blocks, st.TreeHeight, st.Dim, st.Metric, st.LeafSize)
+		return nil
+	case "add":
+		return runAdd(ctx, c, rest)
+	case "load":
+		return runLoad(ctx, c, rest)
+	case "search":
+		return runSearch(ctx, c, rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func runAdd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("add", flag.ContinueOnError)
+	tm := fs.Int64("time", 0, "timestamp")
+	vecStr := fs.String("vector", "", "comma-separated coordinates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, err := parseVector(*vecStr)
+	if err != nil {
+		return err
+	}
+	id, err := c.Add(ctx, v, *tm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("id %d\n", id)
+	return nil
+}
+
+func runLoad(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	path := fs.String("fvecs", "", ".fvecs file to load")
+	startTime := fs.Int64("start-time", 0, "timestamp of the first vector")
+	maxN := fs.Int("max", 0, "cap on vectors to load (0 = all)")
+	batchSize := fs.Int("batch", 256, "vectors per request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("load: -fvecs is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := dataset.ReadFVecs(f, *maxN)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for lo := 0; lo < store.Len(); lo += *batchSize {
+		hi := lo + *batchSize
+		if hi > store.Len() {
+			hi = store.Len()
+		}
+		batch := make([]server.AddEntry, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch = append(batch, server.AddEntry{Vector: store.At(i), Time: *startTime + int64(i)})
+		}
+		ids, err := c.AddBatch(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("after %d vectors: %w", total, err)
+		}
+		total += len(ids)
+	}
+	fmt.Printf("loaded %d vectors from %s\n", total, *path)
+	return nil
+}
+
+func runSearch(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	k := fs.Int("k", 10, "result count")
+	start := fs.Int64("start", 0, "window start (inclusive)")
+	end := fs.Int64("end", 0, "window end (exclusive)")
+	vecStr := fs.String("vector", "", "comma-separated coordinates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, err := parseVector(*vecStr)
+	if err != nil {
+		return err
+	}
+	res, err := c.Search(ctx, v, *k, *start, *end)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		fmt.Printf("id=%d time=%d dist=%g\n", r.ID, r.Time, r.Dist)
+	}
+	if len(res) == 0 {
+		fmt.Println("no results")
+	}
+	return nil
+}
+
+func parseVector(s string) ([]float32, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-vector is required (comma-separated floats)")
+	}
+	parts := strings.Split(s, ",")
+	v := make([]float32, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		v[i] = float32(x)
+	}
+	return v, nil
+}

@@ -1,0 +1,134 @@
+// Command tknnd serves one MBI index over HTTP.
+//
+//	tknnd -addr :8080 -dim 128 -metric angular -leaf 4096
+//
+// Endpoints (JSON):
+//
+//	POST /vectors   insert one timestamped vector or a batch
+//	POST /search    time-restricted kNN search
+//	GET  /stats     index shape
+//	GET  /healthz   liveness
+//
+// With -load the index starts from a file written by -save-on-exit (or by
+// tknn.MBI.Save); with -save-on-exit it persists on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tknn "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dim := flag.Int("dim", 128, "vector dimension")
+	metricName := flag.String("metric", "euclidean", "distance metric: euclidean or angular")
+	leaf := flag.Int("leaf", 4096, "MBI leaf size S_L")
+	tau := flag.Float64("tau", 0.5, "block-selection threshold")
+	degree := flag.Int("degree", 24, "per-block graph degree")
+	eps := flag.Float64("eps", 1.2, "search range-extension factor")
+	load := flag.String("load", "", "load index from file at startup")
+	saveOnExit := flag.String("save-on-exit", "", "save index to file on shutdown")
+	flag.Parse()
+
+	var metric tknn.Metric
+	switch *metricName {
+	case "euclidean", "l2":
+		metric = tknn.Euclidean
+	case "angular", "cosine":
+		metric = tknn.Angular
+	default:
+		log.Fatalf("unknown metric %q", *metricName)
+	}
+
+	opts := tknn.MBIOptions{
+		Dim:         *dim,
+		Metric:      metric,
+		LeafSize:    *leaf,
+		Tau:         *tau,
+		GraphDegree: *degree,
+		Epsilon:     *eps,
+	}
+
+	var ix *tknn.MBI
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			log.Fatalf("opening %s: %v", *load, ferr)
+		}
+		ix, err = tknn.LoadMBI(f, opts)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading index: %v", err)
+		}
+		log.Printf("loaded %d vectors (%d blocks) from %s", ix.Len(), ix.BlockCount(), *load)
+	} else {
+		ix, err = tknn.NewMBI(opts)
+		if err != nil {
+			log.Fatalf("creating index: %v", err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("tknnd listening on %s (dim %d, %s, S_L %d)", *addr, *dim, metric, *leaf)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+
+	if *saveOnExit != "" {
+		if err := saveIndex(ix, *saveOnExit); err != nil {
+			log.Fatalf("saving index: %v", err)
+		}
+		log.Printf("saved %d vectors to %s", ix.Len(), *saveOnExit)
+	}
+}
+
+func saveIndex(ix *tknn.MBI, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Rename-into-place keeps a crash from leaving a torn file.
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("renaming into place: %w", err)
+	}
+	return nil
+}

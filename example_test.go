@@ -1,0 +1,80 @@
+package tknn_test
+
+import (
+	"fmt"
+	"log"
+
+	tknn "repro"
+)
+
+// Example demonstrates the core workflow: create an MBI index, add
+// timestamped vectors, and run a time-restricted kNN query.
+func Example() {
+	ix, err := tknn.NewMBI(tknn.MBIOptions{Dim: 2, LeafSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Vectors arrive in timestamp order.
+	points := [][]float32{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {1, 1}, {6, 5}}
+	for i, p := range points {
+		if err := ix.Add(p, int64(i*10)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The 2 nearest neighbors of (0.2, 0.2) with timestamps in [0, 35).
+	res, err := ix.Search(tknn.Query{Vector: []float32{0.2, 0.2}, K: 2, Start: 0, End: 35})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("id=%d time=%d\n", r.ID, r.Time)
+	}
+	// Output:
+	// id=0 time=0
+	// id=1 time=10
+}
+
+// ExampleMBI_Explain shows the query planner: which blocks a window
+// would touch, without searching.
+func ExampleMBI_Explain() {
+	ix, err := tknn.NewMBI(tknn.MBIOptions{Dim: 1, LeafSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := ix.Add([]float32{float32(i)}, int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	plan := ix.Explain(0, 8) // the whole timeline: one root block
+	fmt.Printf("blocks searched: %d\n", len(plan.Blocks))
+	fmt.Printf("vectors in window: %d\n", plan.TotalInWindow)
+	// Output:
+	// blocks searched: 1
+	// vectors in window: 8
+}
+
+// ExampleNewBSBF shows the exact baseline, useful as a ground-truth
+// oracle or for small datasets.
+func ExampleNewBSBF() {
+	ix, err := tknn.NewBSBF(1, tknn.Euclidean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ix.Add([]float32{float32(i)}, int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := ix.Search(tknn.Query{Vector: []float32{4.2}, K: 3, Start: 0, End: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Println(r.ID)
+	}
+	// Output:
+	// 4
+	// 5
+	// 3
+}

@@ -1,0 +1,171 @@
+// Photolibrary: the paper's motivating query — "which 10 photos you took
+// between January 2010 and May 2011 are most similar to the one you just
+// took?" (§1) — over a simulated personal photo library with real
+// wall-clock timestamps.
+//
+// The example indexes ~30k photo embeddings spanning 2008–2024 (bursts
+// around trips and events, like a real camera roll), then answers
+// window-restricted similarity queries with MBI and cross-checks the
+// results against the exact BSBF baseline.
+//
+//	go run ./examples/photolibrary
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	tknn "repro"
+)
+
+const (
+	dim      = 96 // CNN-embedding-sized vectors
+	numShots = 30000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2024))
+
+	fmt.Println("generating photo library (2008-2024, bursty shooting pattern)...")
+	photos := generateLibrary(rng)
+
+	mbi, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim:           dim,
+		Metric:        tknn.Angular, // embeddings compare by cosine
+		LeafSize:      2048,
+		GraphDegree:   16,
+		MaxCandidates: 64,
+		Epsilon:       1.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := tknn.NewBSBF(dim, tknn.Angular)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	for _, p := range photos {
+		if err := mbi.Add(p.embedding, p.takenAt.Unix()); err != nil {
+			log.Fatal(err)
+		}
+		if err := exact.Add(p.embedding, p.takenAt.Unix()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d photos in %s (%d MBI blocks)\n\n",
+		mbi.Len(), time.Since(start).Round(time.Millisecond), mbi.BlockCount())
+
+	// The paper's example query, plus a few more windows.
+	queries := []struct {
+		name       string
+		start, end time.Time
+	}{
+		{"Jan 2010 - May 2011", date(2010, 1, 1), date(2011, 5, 1)},
+		{"the whole library", date(2008, 1, 1), date(2025, 1, 1)},
+		{"summer 2019", date(2019, 6, 1), date(2019, 9, 1)},
+		{"one week in 2022", date(2022, 3, 7), date(2022, 3, 14)},
+	}
+	probe := photos[len(photos)-1].embedding // "the one you just took"
+
+	for _, q := range queries {
+		query := tknn.Query{
+			Vector: probe,
+			K:      10,
+			Start:  q.start.Unix(),
+			End:    q.end.Unix(),
+		}
+		t0 := time.Now()
+		got, err := mbi.Search(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mbiTime := time.Since(t0)
+
+		t0 = time.Now()
+		want, err := exact.Search(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exactTime := time.Since(t0)
+
+		fmt.Printf("%-22s MBI %8s  exact %8s  recall %.2f  (%d matches)\n",
+			q.name+":", mbiTime.Round(time.Microsecond), exactTime.Round(time.Microsecond),
+			recall(got, want), len(got))
+		for i, r := range got {
+			if i == 3 {
+				fmt.Printf("    ... %d more\n", len(got)-3)
+				break
+			}
+			fmt.Printf("    photo %6d taken %s (dist %.4f)\n",
+				r.ID, time.Unix(r.Time, 0).UTC().Format("2006-01-02"), r.Dist)
+		}
+	}
+}
+
+type photo struct {
+	takenAt   time.Time
+	embedding []float32
+}
+
+// generateLibrary simulates a camera roll: photos cluster into "scenes"
+// (vacations, events) both visually and temporally.
+func generateLibrary(rng *rand.Rand) []photo {
+	// Visual scene prototypes: beaches, birthdays, screenshots, pets...
+	scenes := make([][]float32, 40)
+	for s := range scenes {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		scenes[s] = v
+	}
+
+	photos := make([]photo, 0, numShots)
+	t := date(2008, 1, 1)
+	endOfTime := date(2024, 6, 1)
+	for len(photos) < numShots && t.Before(endOfTime) {
+		// A burst: one scene, a handful to a few hundred shots. Shots in a
+		// burst share a setting (the burst center), so they are closer to
+		// one another than to the rest of their scene.
+		scene := scenes[rng.Intn(len(scenes))]
+		center := make([]float32, dim)
+		for i := range center {
+			center[i] = scene[i] + float32(rng.NormFloat64()*0.5)
+		}
+		burst := 5 + rng.Intn(200)
+		for b := 0; b < burst && len(photos) < numShots; b++ {
+			v := make([]float32, dim)
+			for i := range v {
+				v[i] = center[i] + float32(rng.NormFloat64()*0.5)
+			}
+			photos = append(photos, photo{takenAt: t, embedding: v})
+			t = t.Add(time.Duration(5+rng.Intn(120)) * time.Second)
+		}
+		// Gap until the next burst: hours to a couple of weeks.
+		t = t.Add(time.Duration(1+rng.Intn(900)) * time.Hour)
+	}
+	return photos
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// recall measures |got ∩ want| / |want| by distance threshold.
+func recall(got, want []tknn.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	threshold := want[len(want)-1].Dist * 1.00001
+	hits := 0
+	for _, r := range got {
+		if r.Dist <= threshold {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(want))
+}

@@ -1,0 +1,91 @@
+// Quickstart: build an MBI index, insert timestamped vectors, and run
+// time-restricted k-nearest-neighbor queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	tknn "repro"
+)
+
+func main() {
+	const (
+		dim = 64
+		n   = 20000
+	)
+
+	// An MBI index over 64-dimensional vectors compared by squared
+	// Euclidean distance. LeafSize (S_L) bounds the brute-force tail:
+	// vectors newer than the last sealed leaf are scanned exactly.
+	ix, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim:      dim,
+		Metric:   tknn.Euclidean,
+		LeafSize: 1024,
+		Tau:      0.5, // the paper's recommended block-selection threshold
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert vectors in timestamp order — the time-accumulating setting.
+	// Here timestamps are just sequence numbers; any non-decreasing int64
+	// (e.g. Unix seconds) works.
+	rng := rand.New(rand.NewSource(42))
+	vectors := make([][]float32, n)
+	for i := range vectors {
+		vectors[i] = randomPoint(rng, dim)
+		if err := ix.Add(vectors[i], int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d vectors into %d blocks (tree height %d)\n",
+		ix.Len(), ix.BlockCount(), ix.TreeHeight())
+
+	// TkNN query: the 5 nearest neighbors of a probe among vectors with
+	// timestamps in [5000, 15000).
+	probe := vectors[7777]
+	res, err := ix.Search(tknn.Query{Vector: probe, K: 5, Start: 5000, End: 15000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n5 nearest neighbors within window [5000, 15000):")
+	for _, r := range res {
+		fmt.Printf("  id=%5d  time=%5d  dist=%.4f\n", r.ID, r.Time, r.Dist)
+	}
+
+	// Narrow windows are just as cheap — MBI picks small blocks for them.
+	res, err = ix.Search(tknn.Query{Vector: probe, K: 3, Start: 7700, End: 7800})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n3 nearest within the narrow window [7700, 7800):")
+	for _, r := range res {
+		fmt.Printf("  id=%5d  time=%5d  dist=%.4f\n", r.ID, r.Time, r.Dist)
+	}
+}
+
+// randomPoint draws from a mixture of 8 Gaussian clusters, a miniature of
+// what real embedding clouds look like.
+var clusterCenters [][]float32
+
+func randomPoint(rng *rand.Rand, dim int) []float32 {
+	if clusterCenters == nil {
+		for c := 0; c < 8; c++ {
+			center := make([]float32, dim)
+			for i := range center {
+				center[i] = float32(rng.NormFloat64())
+			}
+			clusterCenters = append(clusterCenters, center)
+		}
+	}
+	c := clusterCenters[rng.Intn(len(clusterCenters))]
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = c[i] + float32(rng.NormFloat64()*0.5)
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+// Satellite: the weather-satellite scenario that motivated the paper (the
+// COMS/GK2A datasets — the paper's authors index satellite imagery for
+// the Korea Meteorological Administration). Hourly image embeddings
+// accumulate for years; forecasters look for historical hours whose sky
+// state most resembles the current one, restricted to a season or a year.
+//
+// The example also demonstrates persistence: the index is saved to disk,
+// reloaded, and verified to answer identically — the restart story a
+// production deployment needs.
+//
+//	go run ./examples/satellite
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	tknn "repro"
+)
+
+const (
+	dim       = 128 // autoencoder embedding size used for COMS in the paper
+	hoursSpan = 6 * 365 * 24
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	opts := tknn.MBIOptions{
+		Dim:      dim,
+		Metric:   tknn.Angular,
+		LeafSize: 4096,
+		Epsilon:  1.2,
+	}
+	ix, err := tknn.NewMBI(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ingesting 6 years of hourly satellite-image embeddings...")
+	epoch := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	var lastEmbedding []float32
+	for h := 0; h < hoursSpan; h++ {
+		ts := epoch.Add(time.Duration(h) * time.Hour)
+		lastEmbedding = skyEmbedding(rng, ts)
+		if err := ix.Add(lastEmbedding, ts.Unix()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d hours (%d blocks, height %d)\n\n",
+		ix.Len(), ix.BlockCount(), ix.TreeHeight())
+
+	// "Which past summer hours looked most like right now?"
+	windows := []struct {
+		name       string
+		start, end time.Time
+	}{
+		{"summer 2020", time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC), time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)},
+		{"all of 2021", time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{"2018-2023", epoch, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, w := range windows {
+		res, err := ix.Search(tknn.Query{
+			Vector: lastEmbedding, K: 5,
+			Start: w.start.Unix(), End: w.end.Unix(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s nearest analog hours:\n", w.name+":")
+		for _, r := range res {
+			fmt.Printf("    %s  (dist %.4f)\n",
+				time.Unix(r.Time, 0).UTC().Format("2006-01-02 15:04"), r.Dist)
+		}
+	}
+
+	// Persistence round trip.
+	path := filepath.Join(os.TempDir(), "satellite.mbi")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsaved index to %s (%.1f MB)\n", path, float64(info.Size())/1e6)
+
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := tknn.LoadMBI(f, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(path)
+
+	q := tknn.Query{Vector: lastEmbedding, K: 3, Start: windows[0].start.Unix(), End: windows[0].end.Unix()}
+	a, err := ix.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := restored.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := len(a) == len(b)
+	for i := 0; agree && i < len(a); i++ {
+		agree = a[i].ID == b[i].ID
+	}
+	fmt.Printf("restored index has %d vectors in %d blocks; summer-2020 query agreement: %v\n",
+		restored.Len(), restored.BlockCount(), agree)
+}
+
+// skyEmbedding simulates an image autoencoder: the sky state blends a
+// diurnal cycle, a seasonal cycle, and weather-system noise that drifts
+// hour to hour.
+var weatherState []float32
+
+func skyEmbedding(rng *rand.Rand, ts time.Time) []float32 {
+	if weatherState == nil {
+		weatherState = make([]float32, dim)
+	}
+	// Weather drifts as a slow random walk.
+	for i := range weatherState {
+		weatherState[i] = 0.98*weatherState[i] + float32(rng.NormFloat64()*0.2)
+	}
+	hour := float64(ts.Hour())
+	day := float64(ts.YearDay())
+	v := make([]float32, dim)
+	for i := range v {
+		phase := float64(i)
+		v[i] = weatherState[i] +
+			float32(math.Sin(2*math.Pi*hour/24+phase)) + // diurnal
+			float32(0.5*math.Cos(2*math.Pi*day/365+phase/3)) // seasonal
+	}
+	return v
+}

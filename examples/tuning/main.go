@@ -1,0 +1,104 @@
+// Tuning: the paper's §5.4.2 suggestion in action — pre-compute the best
+// block-selection threshold τ per query-window size, then let the index
+// pick τ per query. Also demonstrates the Explain query planner and how
+// τ changes the plans.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	tknn "repro"
+)
+
+const (
+	dim = 32
+	n   = 24000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	centers := make([][]float32, 30)
+	for c := range centers {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		centers[c] = v
+	}
+	newVec := func() []float32 {
+		c := centers[rng.Intn(len(centers))]
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = c[i] + float32(rng.NormFloat64()*0.6)
+		}
+		return v
+	}
+
+	ix, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim: dim, LeafSize: 1500, GraphDegree: 16, Epsilon: 1.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexing %d vectors...\n", n)
+	queries := make([][]float32, 200)
+	for i := range queries {
+		queries[i] = newVec()
+	}
+	for i := 0; i < n; i++ {
+		if err := ix.Add(newVec(), int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Explain: what would a narrow vs a wide window search?
+	fmt.Println("\n--- query plans (default tau = 0.5) ---")
+	fmt.Print(ix.Explain(1000, 2000))  // ~4% of the data
+	fmt.Print(ix.Explain(2000, 22000)) // ~83% of the data
+
+	// Measure mixed-workload throughput with the static default τ.
+	mix := func() (int64, int64) {
+		// Half the queries are narrow (2%), half wide (70%).
+		var wlen int64
+		if rng.Intn(2) == 0 {
+			wlen = n * 2 / 100
+		} else {
+			wlen = n * 70 / 100
+		}
+		start := rng.Int63n(int64(n) - wlen)
+		return start, start + wlen
+	}
+	measure := func(label string) {
+		rng := rand.New(rand.NewSource(99)) // same windows each time
+		_ = rng
+		start := time.Now()
+		const rounds = 400
+		for i := 0; i < rounds; i++ {
+			ts, te := mix()
+			if _, err := ix.Search(tknn.Query{Vector: queries[i%len(queries)], K: 10, Start: ts, End: te}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-28s %.0f queries/sec\n", label, rounds/time.Since(start).Seconds())
+	}
+
+	fmt.Println("\n--- mixed workload: 50% narrow (2%) + 50% wide (70%) windows ---")
+	measure("static tau = 0.5:")
+
+	// Tune: measure the best tau per window-size bucket on the index's
+	// own data, then re-measure.
+	fmt.Println("\ntuning tau per window size (§5.4.2)...")
+	if err := ix.AutoTuneTau(40); err != nil {
+		log.Fatal(err)
+	}
+	fracs, taus := ix.TunedFractions(), ix.TunedTaus()
+	for i := range fracs {
+		fmt.Printf("  windows up to %4.0f%% of data -> tau %.1f\n", fracs[i]*100, taus[i])
+	}
+	measure("auto-tuned tau:")
+}

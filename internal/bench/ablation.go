@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nndescent"
+	"repro/internal/nsw"
+)
+
+// AblationRow is one builder's measurements at one window fraction.
+type AblationRow struct {
+	Builder   string
+	BuildTime time.Duration
+	Fraction  float64
+	Op        Operating
+}
+
+// AblationBuilder exercises §4.1's claim that MBI uses the per-block kNN
+// index as a pluggable module: the same tree is built once with NNDescent
+// and once with NSW, comparing build time and achievable QPS at the recall
+// target on the COMS profile.
+func AblationBuilder(c Config, w io.Writer) []AblationRow {
+	p, err := dataset.ProfileByName("COMS")
+	if err != nil {
+		panic(err)
+	}
+	header(w, "Ablation — per-block graph builder (COMS)",
+		"NNDescent (paper's choice) vs NSW behind the same MBI tree")
+	d := genData(c, p)
+	scaled := d.Profile
+	const k = 10
+
+	builders := []struct {
+		name string
+		mk   func() *MBIMethod
+	}{
+		{"nndescent", func() *MBIMethod {
+			m := NewMBI(scaled, c.Seed, c.Workers)
+			m.SetBuilder(nndescent.MustNew(nndescent.DefaultConfig(scaled.GraphK)))
+			return m
+		}},
+		{"nsw", func() *MBIMethod {
+			m := NewMBI(scaled, c.Seed, c.Workers)
+			m.SetBuilder(nsw.MustNew(nsw.DefaultConfig(scaled.GraphK)))
+			return m
+		}},
+	}
+
+	var rows []AblationRow
+	fmt.Fprintf(w, "%-10s %12s | %6s %12s %8s\n", "builder", "build", "window", "qps", "recall")
+	for _, b := range builders {
+		m := b.mk()
+		buildTime := m.Build(d)
+		for _, frac := range c.Fractions {
+			qs, gt := queriesAndTruth(c, d, k, frac)
+			op := qpsAtRecall(c, m, qs, gt)
+			rows = append(rows, AblationRow{Builder: b.name, BuildTime: buildTime, Fraction: frac, Op: op})
+			fmt.Fprintf(w, "%-10s %12s | %5.0f%% %12.0f %8.3f%s\n",
+				b.name, buildTime.Round(time.Millisecond), frac*100, op.QPS, op.Recall, flag(op))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Fig5Row is one measured point of Figure 5.
+type Fig5Row struct {
+	Profile  string
+	K        int
+	Fraction float64
+	BSBF     Operating
+	SF       Operating
+	MBI      Operating
+	// Speedup is MBI QPS over the better of BSBF and SF — the paper's
+	// "hypothetical method that selects the faster of BSBF and SF"
+	// comparison (up to 10.88x in the paper).
+	Speedup float64
+}
+
+// Fig5 reproduces Figure 5: queries per second versus the query-window
+// fraction at the recall target, for every profile and k in c.Ks. Rows are
+// printed to w and returned.
+func Fig5(c Config, profiles []dataset.Profile, w io.Writer) []Fig5Row {
+	header(w, "Figure 5 — search performance",
+		fmt.Sprintf("QPS vs window fraction at recall@k >= %.3f; MBI vs BSBF vs SF", c.RecallTarget))
+	var rows []Fig5Row
+	for _, p := range profiles {
+		d := genData(c, p)
+		scaled := d.Profile
+
+		bs := NewBSBF()
+		bs.Build(d)
+		sfm := NewSF(scaled, c.Seed)
+		sfm.Build(d)
+		mbi := NewMBI(scaled, c.Seed, c.Workers)
+		mbi.Build(d)
+
+		fmt.Fprintf(w, "%s (n=%d, dim=%d, %s, S_L=%d, tau=%.2f)\n",
+			p.Name, d.Train.Len(), p.Dim, p.Metric, scaled.LeafSize, scaled.Tau)
+		fmt.Fprintf(w, "%8s %6s | %12s %12s %12s | %8s\n", "k", "window", "BSBF qps", "SF qps", "MBI qps", "speedup")
+		for _, k := range c.Ks {
+			for _, frac := range c.Fractions {
+				qs, gt := queriesAndTruth(c, d, k, frac)
+				row := Fig5Row{Profile: p.Name, K: k, Fraction: frac}
+				row.BSBF = qpsAtRecall(c, bs, qs, gt)
+				row.SF = qpsAtRecall(c, sfm, qs, gt)
+				row.MBI = qpsAtRecall(c, mbi, qs, gt)
+				baseline := row.BSBF.QPS
+				if row.SF.Reached && row.SF.QPS > baseline {
+					baseline = row.SF.QPS
+				}
+				if baseline > 0 {
+					row.Speedup = row.MBI.QPS / baseline
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%8d %5.0f%% | %12.0f %12.0f%s %12.0f%s | %7.2fx\n",
+					k, frac*100, row.BSBF.QPS, row.SF.QPS, flag(row.SF), row.MBI.QPS, flag(row.MBI), row.Speedup)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	summarizeFig5(w, rows)
+	return rows
+}
+
+// summarizeFig5 prints the headline comparisons the paper draws from
+// Figure 5.
+func summarizeFig5(w io.Writer, rows []Fig5Row) {
+	if len(rows) == 0 {
+		return
+	}
+	var maxSpeedup float64
+	var at Fig5Row
+	wins := 0
+	for _, r := range rows {
+		if r.Speedup > maxSpeedup {
+			maxSpeedup = r.Speedup
+			at = r
+		}
+		if r.Speedup >= 1 {
+			wins++
+		}
+	}
+	fmt.Fprintf(w, "MBI beats max(BSBF, SF) on %d/%d points; max speedup %.2fx (%s, k=%d, window %.0f%%)\n",
+		wins, len(rows), maxSpeedup, at.Profile, at.K, at.Fraction*100)
+	fmt.Fprintf(w, "paper reports up to 10.88x on its testbed\n")
+}

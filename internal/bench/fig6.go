@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Fig6Series is one method's Pareto frontier at one window fraction.
+type Fig6Series struct {
+	Method   string
+	Fraction float64
+	Points   []Point
+}
+
+// Fig6 reproduces Figure 6: recall@10 versus queries per second on the
+// COMS profile for window fractions 10%, 30%, and 80%, sweeping ε for SF
+// and MBI (BSBF contributes its single exact point).
+func Fig6(c Config, w io.Writer) []Fig6Series {
+	p, err := dataset.ProfileByName("COMS")
+	if err != nil {
+		panic(err) // profile table is static
+	}
+	header(w, "Figure 6 — recall/QPS trade-off (COMS)",
+		fmt.Sprintf("recall@10 vs QPS, eps in [%.2f, %.2f] by %.2f", c.EpsMin, c.EpsMax, c.EpsStep))
+
+	d := genData(c, p)
+	scaled := d.Profile
+	bs := NewBSBF()
+	bs.Build(d)
+	sfm := NewSF(scaled, c.Seed)
+	sfm.Build(d)
+	mbi := NewMBI(scaled, c.Seed, c.Workers)
+	mbi.Build(d)
+
+	const k = 10
+	fractions := []float64{0.1, 0.3, 0.8}
+	var series []Fig6Series
+	for _, frac := range fractions {
+		qs, gt := queriesAndTruth(c, d, k, frac)
+		fmt.Fprintf(w, "window %.0f%%:\n", frac*100)
+		for _, m := range []Method{bs, sfm, mbi} {
+			pts := pareto(c, m, qs, gt)
+			series = append(series, Fig6Series{Method: m.Name(), Fraction: frac, Points: pts})
+			fmt.Fprintf(w, "  %-4s:", m.Name())
+			for _, pt := range pts {
+				fmt.Fprintf(w, " (%.3f, %.0f)", pt.Recall, pt.QPS)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return series
+}

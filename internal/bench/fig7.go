@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/persist"
+	"repro/internal/vec"
+)
+
+// Fig7Row is one data size's measurements.
+type Fig7Row struct {
+	N            int
+	MBIBuild     time.Duration
+	MBIBuildPar  time.Duration
+	SFBuild      time.Duration
+	MBIIndexSize int64
+	SFIndexSize  int64
+	InputSize    int64
+}
+
+// Fig7Result carries the rows plus the fitted log-log slopes the paper
+// reports (MBI indexing-time slope 1.29 on SIFT1M; index size likewise).
+type Fig7Result struct {
+	Rows                      []Fig7Row
+	MBITimeSlope, SFTimeSlope float64
+	MBISizeSlope, SFSizeSlope float64
+}
+
+// Fig7 reproduces Figure 7: indexing time (a) and index size (b) versus
+// data size on the SIFT profile, for MBI (sequential and parallel builds)
+// and SF. Sizes double from n/8 up to n.
+func Fig7(c Config, w io.Writer) Fig7Result {
+	p, err := dataset.ProfileByName("SIFT1M")
+	if err != nil {
+		panic(err)
+	}
+	header(w, "Figure 7 — scalability (SIFT profile)",
+		"indexing time and index size vs data size; slopes are log2-log2 fits")
+
+	full := genData(c, p)
+	scaled := full.Profile
+	var res Fig7Result
+	fmt.Fprintf(w, "%10s | %12s %12s %12s | %12s %12s %12s\n",
+		"n", "MBI build", "MBI par", "SF build", "input B", "MBI idx B", "SF idx B")
+	for div := 8; div >= 1; div /= 2 {
+		n := full.Train.Len() / div
+		sub := subset(full, n)
+
+		mbiSeq := NewMBI(scaled, c.Seed, 1)
+		tSeq := mbiSeq.Build(sub)
+
+		workers := c.Workers
+		if workers < 2 {
+			workers = 2 // exercise the parallel path even on small hosts
+		}
+		mbiPar := NewMBI(scaled, c.Seed, workers)
+		tPar := mbiPar.Build(sub)
+
+		sfm := NewSF(scaled, c.Seed)
+		tSF := sfm.Build(sub)
+
+		mbiSize, err := persist.SizeMBI(mbiSeq.Index())
+		if err != nil {
+			panic(err)
+		}
+		sfSize, err := persist.SizeSF(sfm.Index())
+		if err != nil {
+			panic(err)
+		}
+		row := Fig7Row{
+			N: n, MBIBuild: tSeq, MBIBuildPar: tPar, SFBuild: tSF,
+			MBIIndexSize: mbiSize, SFIndexSize: sfSize, InputSize: sub.InputBytes(),
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(w, "%10d | %12s %12s %12s | %12d %12d %12d\n",
+			n, tSeq.Round(time.Millisecond), tPar.Round(time.Millisecond), tSF.Round(time.Millisecond),
+			row.InputSize, mbiSize, sfSize)
+	}
+	res.MBITimeSlope = slope(res.Rows, func(r Fig7Row) float64 { return r.MBIBuild.Seconds() })
+	res.SFTimeSlope = slope(res.Rows, func(r Fig7Row) float64 { return r.SFBuild.Seconds() })
+	res.MBISizeSlope = slope(res.Rows, func(r Fig7Row) float64 { return float64(r.MBIIndexSize) })
+	res.SFSizeSlope = slope(res.Rows, func(r Fig7Row) float64 { return float64(r.SFIndexSize) })
+	fmt.Fprintf(w, "\nlog-log slopes: MBI time %.2f (paper ~1.29), SF time %.2f (~1.14);"+
+		" MBI size %.2f (paper ~1.29 incl. log factor), SF size %.2f (~1.0)\n",
+		res.MBITimeSlope, res.SFTimeSlope, res.MBISizeSlope, res.SFSizeSlope)
+	return res
+}
+
+// subset returns a prefix view of a workload (the first n vectors in
+// timestamp order — exactly how time-accumulating data grows).
+func subset(d *dataset.Data, n int) *dataset.Data {
+	if n >= d.Train.Len() {
+		return d
+	}
+	dim := d.Train.Dim()
+	store, err := vec.FromRaw(dim, d.Train.Raw()[:n*dim])
+	if err != nil {
+		panic(err)
+	}
+	return &dataset.Data{
+		Profile: d.Profile,
+		Train:   store,
+		Times:   d.Times[:n],
+		Test:    d.Test,
+	}
+}
+
+// slope fits least-squares log2(metric) against log2(n).
+func slope(rows []Fig7Row, metric func(Fig7Row) float64) float64 {
+	var xs, ys []float64
+	for _, r := range rows {
+		v := metric(r)
+		if v <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log2(float64(r.N)))
+		ys = append(ys, math.Log2(v))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

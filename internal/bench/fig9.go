@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Fig9Row is one (tau, fraction) measurement for MBI, with the baselines
+// at the same fraction for reference.
+type Fig9Row struct {
+	Profile  string
+	Tau      float64
+	Fraction float64
+	MBI      Operating
+	BSBF     Operating
+	SF       Operating
+}
+
+// Fig9 reproduces Figure 9: MBI query speed across the block-selection
+// threshold τ from 0.1 to 0.9 as a function of the window fraction, with
+// BSBF and SF shown for reference. The paper runs MovieLens and COMS;
+// profiles selects which to run here.
+func Fig9(c Config, profiles []dataset.Profile, w io.Writer) []Fig9Row {
+	header(w, "Figure 9 — effect of threshold tau",
+		fmt.Sprintf("QPS vs window fraction for tau in [0.1, 0.9] at recall@10 >= %.3f", c.RecallTarget))
+	taus := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	const k = 10
+	var rows []Fig9Row
+	for _, p := range profiles {
+		d := genData(c, p)
+		scaled := d.Profile
+
+		bs := NewBSBF()
+		bs.Build(d)
+		sfm := NewSF(scaled, c.Seed)
+		sfm.Build(d)
+		mbi := NewMBI(scaled, c.Seed, c.Workers)
+		mbi.Build(d) // one build; tau is a query-time parameter
+
+		fmt.Fprintf(w, "%s (n=%d)\n", p.Name, d.Train.Len())
+		fmt.Fprintf(w, "%8s %6s | %12s | %12s %12s\n", "tau", "window", "MBI qps", "BSBF qps", "SF qps")
+		for _, frac := range c.Fractions {
+			qs, gt := queriesAndTruth(c, d, k, frac)
+			bsOp := qpsAtRecall(c, bs, qs, gt)
+			sfOp := qpsAtRecall(c, sfm, qs, gt)
+			for _, tau := range taus {
+				mbi.SetTau(tau)
+				op := qpsAtRecall(c, mbi, qs, gt)
+				rows = append(rows, Fig9Row{
+					Profile: p.Name, Tau: tau, Fraction: frac,
+					MBI: op, BSBF: bsOp, SF: sfOp,
+				})
+				fmt.Fprintf(w, "%8.1f %5.0f%% | %12.0f%s | %12.0f %12.0f%s\n",
+					tau, frac*100, op.QPS, flag(op), bsOp.QPS, sfOp.QPS, flag(sfOp))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "expected shape: tau > 0.5 degrades with many blocks; tau <= 0.5 guarantees")
+	fmt.Fprintln(w, "at most two blocks (Lemma 4.1); tau ~ 0.5 is the paper's recommendation")
+	return rows
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/persist"
+)
+
+// Table2 prints the dataset summary: the paper's Table 2 alongside the
+// scaled stand-ins actually used here.
+func Table2(c Config, profiles []dataset.Profile, w io.Writer) {
+	header(w, "Table 2 — datasets",
+		"paper sizes vs the synthetic stand-ins used in this reproduction")
+	fmt.Fprintf(w, "%-10s %6s %10s | %12s %8s | %12s %8s\n",
+		"dataset", "dim", "distance", "paper train", "test", "repro train", "test")
+	for _, p := range profiles {
+		s := p.Scale(c.Scale)
+		fmt.Fprintf(w, "%-10s %6d %10s | %12d %8d | %12d %8d\n",
+			p.Name, p.Dim, p.Metric, p.PaperTrainN, p.PaperTestN, s.TrainN, s.TestN)
+	}
+}
+
+// Table3 prints the default parameters per profile (the paper's Table 3,
+// rescaled).
+func Table3(c Config, profiles []dataset.Profile, w io.Writer) {
+	header(w, "Table 3 — default parameters",
+		"graph-search and MBI parameters per profile (paper's S_L in parentheses)")
+	fmt.Fprintf(w, "%-10s | %10s %6s %12s | %6s %10s\n",
+		"dataset", "neighbors", "M_C", "eps", "tau", "S_L")
+	for _, p := range profiles {
+		s := p.Scale(c.Scale)
+		fmt.Fprintf(w, "%-10s | %10d %6d %5.2f-%.2f | %6.2f %6d (%d)\n",
+			p.Name, s.GraphK, s.MC, c.EpsMin, c.EpsMax, s.Tau, s.LeafSize, p.PaperLeafSize)
+	}
+}
+
+// Table4Row is one profile's index-size measurements.
+type Table4Row struct {
+	Profile   string
+	InputSize int64
+	MBISize   int64
+	SFSize    int64
+}
+
+// Table4 reproduces Table 4: serialized index sizes of MBI and SF against
+// the raw input size, per profile. The ratios (MBI a few times larger
+// than SF, both larger than the input) are the comparable quantity; the
+// absolute bytes differ from the paper's Rust encoding.
+func Table4(c Config, profiles []dataset.Profile, w io.Writer) []Table4Row {
+	header(w, "Table 4 — index sizes",
+		"serialized bytes; parenthesized factors are relative to the input size")
+	fmt.Fprintf(w, "%-10s %14s | %22s | %22s\n", "dataset", "input", "MBI", "SF")
+	var rows []Table4Row
+	for _, p := range profiles {
+		d := genData(c, p)
+		scaled := d.Profile
+		mbi := NewMBI(scaled, c.Seed, c.Workers)
+		mbi.Build(d)
+		sfm := NewSF(scaled, c.Seed)
+		sfm.Build(d)
+		mbiSize, err := persist.SizeMBI(mbi.Index())
+		if err != nil {
+			panic(err)
+		}
+		sfSize, err := persist.SizeSF(sfm.Index())
+		if err != nil {
+			panic(err)
+		}
+		row := Table4Row{Profile: p.Name, InputSize: d.InputBytes(), MBISize: mbiSize, SFSize: sfSize}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s %14d | %14d (%5.2fx) | %14d (%5.2fx)\n",
+			p.Name, row.InputSize,
+			mbiSize, float64(mbiSize)/float64(row.InputSize),
+			sfSize, float64(sfSize)/float64(row.InputSize))
+	}
+	fmt.Fprintln(w, "\npaper factors: MBI 2.15x-8.72x, SF 1.21x-2.49x of the input")
+	return rows
+}

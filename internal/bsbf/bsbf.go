@@ -1,0 +1,109 @@
+// Package bsbf implements the paper's first baseline, Binary Search and
+// Brute-Force (Algorithm 1): keep the timestamped vectors sorted by
+// timestamp, binary-search the query window to a contiguous range, and
+// brute-force scan that range with a bounded max-heap.
+//
+// BSBF is exact within the window, O(log n + m log k) per query for a
+// window of m vectors — excellent for short windows and hopeless for long
+// ones, which is precisely the asymmetry MBI exploits. The same scan also
+// serves as MBI's handler for the open (non-full) leaf block and as the
+// exact ground-truth oracle of the dataset package.
+package bsbf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Index is a timestamp-sorted database supporting exact TkNN queries.
+// Appends must be in non-decreasing timestamp order (the time-accumulating
+// setting of the paper); Append is single-writer, Search may run
+// concurrently with other Searches.
+type Index struct {
+	store  *vec.Store
+	times  []int64
+	metric vec.Metric
+}
+
+// New returns an empty BSBF index over dim-dimensional vectors.
+func New(dim int, metric vec.Metric) *Index {
+	return &Index{store: vec.NewStore(dim), metric: metric}
+}
+
+// FromData adopts an existing store and timestamp slice. times must be
+// sorted ascending and len(times) must equal store.Len().
+func FromData(store *vec.Store, times []int64, metric vec.Metric) (*Index, error) {
+	if store.Len() != len(times) {
+		return nil, fmt.Errorf("bsbf: %d vectors but %d timestamps", store.Len(), len(times))
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		return nil, fmt.Errorf("bsbf: timestamps not sorted")
+	}
+	return &Index{store: store, times: times, metric: metric}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return ix.store.Len() }
+
+// TimesRef exposes the timestamp slice (read-only, aliases index memory).
+func (ix *Index) TimesRef() []int64 { return ix.times }
+
+// StoreRef exposes the backing store (read-only).
+func (ix *Index) StoreRef() *vec.Store { return ix.store }
+
+// Metric returns the index's distance metric.
+func (ix *Index) Metric() vec.Metric { return ix.metric }
+
+// Append adds a timestamped vector. The timestamp must be >= the last
+// appended timestamp.
+func (ix *Index) Append(v []float32, t int64) error {
+	if n := len(ix.times); n > 0 && t < ix.times[n-1] {
+		return fmt.Errorf("bsbf: timestamp %d precedes last timestamp %d", t, ix.times[n-1])
+	}
+	if _, err := ix.store.Append(v); err != nil {
+		return err
+	}
+	ix.times = append(ix.times, t)
+	return nil
+}
+
+// Window returns the index range [lo, hi) of vectors with timestamps in
+// [ts, te) — the BinarySearch step of Algorithm 1.
+func (ix *Index) Window(ts, te int64) (lo, hi int) {
+	return WindowOf(ix.times, ts, te)
+}
+
+// WindowOf binary-searches a sorted timestamp slice for the half-open
+// window [ts, te), returning the corresponding index range [lo, hi).
+func WindowOf(times []int64, ts, te int64) (lo, hi int) {
+	lo = sort.Search(len(times), func(i int) bool { return times[i] >= ts })
+	hi = sort.Search(len(times), func(i int) bool { return times[i] >= te })
+	return lo, hi
+}
+
+// Search returns the exact k nearest neighbors to q among vectors with
+// timestamps in [ts, te), ordered by ascending distance. Returned IDs are
+// global insertion indices. Fewer than k results are returned when the
+// window holds fewer than k vectors.
+func (ix *Index) Search(q []float32, k int, ts, te int64) []theap.Neighbor {
+	lo, hi := ix.Window(ts, te)
+	return ScanRange(ix.store, ix.metric, q, k, lo, hi)
+}
+
+// ScanRange brute-force scans global rows [lo, hi) of store, returning the
+// k nearest to q with global IDs. It is the BruteForce step of Algorithm 1,
+// shared with MBI's open-leaf handling.
+func ScanRange(store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
+	if k <= 0 || lo >= hi {
+		return nil
+	}
+	top := theap.NewTopK(k)
+	for i := lo; i < hi; i++ {
+		d := vec.Distance(metric, q, store.At(i))
+		top.Push(theap.Neighbor{ID: int32(i), Dist: d})
+	}
+	return top.Items()
+}

@@ -1,0 +1,133 @@
+// Package client is a Go client for the tknnd HTTP API (internal/server),
+// used by the tknnctl command and usable as a library.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one tknnd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+func New(base string) *Client {
+	return &Client{
+		base: base,
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Health reports whether the server answers its liveness check.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Stats fetches the index shape.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return out, responseError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Add inserts a single timestamped vector and returns its id.
+func (c *Client) Add(ctx context.Context, v []float32, t int64) (int, error) {
+	var out server.AddResponse
+	if err := c.post(ctx, "/vectors", server.AddRequest{Vector: v, Time: &t}, &out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+// AddBatch inserts a batch and returns the assigned ids.
+func (c *Client) AddBatch(ctx context.Context, batch []server.AddEntry) ([]int, error) {
+	var out server.AddResponse
+	if err := c.post(ctx, "/vectors", server.AddRequest{Batch: batch}, &out); err != nil {
+		return nil, err
+	}
+	if out.Count == 1 && len(out.IDs) == 0 {
+		return []int{out.ID}, nil
+	}
+	return out.IDs, nil
+}
+
+// Search runs a TkNN query.
+func (c *Client) Search(ctx context.Context, v []float32, k int, start, end int64) ([]server.SearchResult, error) {
+	var out server.SearchResponse
+	err := c.post(ctx, "/search", server.SearchRequest{Vector: v, K: k, Start: start, End: end}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return responseError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseError surfaces the server's JSON error envelope.
+func responseError(resp *http.Response) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("client: %s", resp.Status)
+}
+
+// drain discards and closes the body so the connection is reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

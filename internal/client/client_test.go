@@ -1,0 +1,108 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	tknn "repro"
+	"repro/internal/server"
+)
+
+func newPair(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	ix, err := tknn.NewMBI(tknn.MBIOptions{Dim: 3, LeafSize: 8, GraphDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(ix))
+	t.Cleanup(ts.Close)
+	return New(ts.URL), ts
+}
+
+func TestHealthStatsRoundTrip(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dim != 3 || st.Vectors != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestAddSearchRoundTrip(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+	id, err := c.Add(ctx, []float32{1, 0, 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Errorf("first id %d", id)
+	}
+	batch := make([]server.AddEntry, 10)
+	for i := range batch {
+		batch[i] = server.AddEntry{Vector: []float32{float32(i), 1, 0}, Time: int64(10 + i)}
+	}
+	ids, err := c.AddBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 || ids[0] != 1 {
+		t.Errorf("batch ids %v", ids)
+	}
+	res, err := c.Search(ctx, []float32{4, 1, 0}, 2, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID != 5 || res[0].Dist != 0 {
+		t.Errorf("search = %+v", res)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vectors != 11 {
+		t.Errorf("vectors %d", st.Vectors)
+	}
+}
+
+func TestSingleEntryBatch(t *testing.T) {
+	c, _ := newPair(t)
+	ids, err := c.AddBatch(context.Background(), []server.AddEntry{{Vector: []float32{1, 2, 3}, Time: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("ids %v", ids)
+	}
+}
+
+func TestErrorSurface(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+	if _, err := c.Add(ctx, []float32{1}, 0); err == nil {
+		t.Error("wrong-dim add did not error")
+	}
+	if _, err := c.Search(ctx, []float32{1, 2, 3}, 0, 0, 1); err == nil {
+		t.Error("k=0 search did not error")
+	}
+	// The server's error message is surfaced.
+	_, err := c.Search(ctx, []float32{1, 2, 3}, 1, 9, 9)
+	if err == nil || len(err.Error()) < 10 {
+		t.Errorf("error lacks detail: %v", err)
+	}
+}
+
+func TestServerGone(t *testing.T) {
+	c, ts := newPair(t)
+	ts.Close()
+	if err := c.Health(context.Background()); err == nil {
+		t.Error("health on closed server succeeded")
+	}
+}

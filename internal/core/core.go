@@ -1,0 +1,502 @@
+// Package core implements Multi-level Block Indexing (MBI), the paper's
+// contribution: an incremental hierarchical index for time-restricted kNN
+// search over time-accumulating high-dimensional vectors.
+//
+// MBI is conceptually a perfect binary tree of blocks. Each block covers a
+// contiguous timestamp range and carries a graph-based approximate kNN
+// index over exactly those vectors; a leaf covers S_L vectors, a parent
+// covers the union of its children. Because vectors arrive in timestamp
+// order, every block is a contiguous range [Lo, Hi) of one global store —
+// no block ever copies vectors.
+//
+// Insertion (Algorithm 3): new vectors land in the open leaf; when it
+// fills, its graph is built and bottom-up block merging creates the chain
+// of ancestors whose subtrees just became complete. Blocks are numbered in
+// creation order, which is exactly a postorder traversal, giving the
+// sibling/child arithmetic used throughout: the children of block c at
+// height h are c-2^h (left) and c-1 (right).
+//
+// Querying (Algorithm 4): top-down block selection walks from the root,
+// keeping any block whose time-overlap ratio with the query window exceeds
+// τ (or any leaf that overlaps at all) and recursing otherwise. Incomplete
+// trees are completed with virtual blocks of infinite time window; such
+// blocks always recurse, which makes selection over the virtual tree
+// equivalent to independent selection on each root of the forest of
+// complete subtrees that this implementation maintains explicitly.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bsbf"
+	"repro/internal/graph"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Options configures an MBI index.
+type Options struct {
+	// Dim is the vector dimension.
+	Dim int
+	// Metric is the distance function (vec.Euclidean or vec.Angular).
+	Metric vec.Metric
+	// LeafSize is S_L, the number of vectors per leaf block.
+	LeafSize int
+	// Tau is the block-selection threshold τ ∈ (0, 1]. The paper proves at
+	// most two blocks are searched per query when τ ≤ 0.5 (Lemma 4.1) and
+	// recommends τ ≈ 0.5 absent tuning data.
+	Tau float64
+	// Builder constructs the per-block proximity graph (NNDescent in the
+	// paper's experiments; any graph.Builder works).
+	Builder graph.Builder
+	// Search supplies the default Algorithm 2 parameters (M_C, ε) used by
+	// Search; SearchWith overrides them per query.
+	Search graph.SearchParams
+	// Workers bounds the goroutines used for parallel block building
+	// during a merge cascade (§4.2 "Parallelization of MBI").
+	// Zero or one means build sequentially.
+	Workers int
+	// AsyncMerge moves leaf sealing and bottom-up block merging to a
+	// background worker so Append never blocks on graph construction.
+	// Sealed-but-unbuilt vectors are answered by brute force until their
+	// blocks install, so queries stay complete (and exact over that
+	// region) at some throughput cost while the builder catches up.
+	// Call Flush to wait for the worker and Close when done.
+	AsyncMerge bool
+	// Seed drives builder randomization; block i is built with seed
+	// Seed + i so that construction is reproducible yet blocks differ.
+	Seed int64
+}
+
+// Validate reports whether the options are usable.
+func (o *Options) Validate() error {
+	if o.Dim <= 0 {
+		return fmt.Errorf("mbi: Dim must be positive, got %d", o.Dim)
+	}
+	if !o.Metric.Valid() {
+		return fmt.Errorf("mbi: invalid metric %d", o.Metric)
+	}
+	if o.LeafSize <= 0 {
+		return fmt.Errorf("mbi: LeafSize must be positive, got %d", o.LeafSize)
+	}
+	if o.Tau <= 0 || o.Tau > 1 {
+		return fmt.Errorf("mbi: Tau must be in (0, 1], got %g", o.Tau)
+	}
+	if o.Builder == nil {
+		return fmt.Errorf("mbi: Builder must be set")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("mbi: Workers must be non-negative, got %d", o.Workers)
+	}
+	return nil
+}
+
+// Block is one node of the MBI tree: a contiguous global range plus its
+// proximity graph. Height 0 is a (sealed) leaf.
+type Block struct {
+	Lo, Hi int
+	Height int
+	Graph  *graph.CSR
+}
+
+// Len returns the number of vectors the block covers.
+func (b *Block) Len() int { return b.Hi - b.Lo }
+
+// Index is an MBI index. Append is single-writer; Search/SearchWith may be
+// called concurrently with each other. Append takes the write lock for the
+// duration of any block builds it triggers, so searches issued during a
+// merge cascade wait for it to finish.
+type Index struct {
+	opts Options
+
+	mu     sync.RWMutex
+	store  *vec.Store
+	times  []int64
+	blocks []Block // creation (= postorder) order
+	forest []int   // block ids of complete-subtree roots, heights strictly decreasing left→right
+	openLo int     // global start of the open (non-full) leaf
+
+	// Async-merge machinery (nil / unused when !opts.AsyncMerge). Sealed
+	// leaf ranges travel through jobs to a single worker; vectors in
+	// [installedHiLocked(), openLo) are sealed but their blocks are not
+	// installed yet, so queries brute-force them.
+	jobs    chan sealJob
+	pending sync.WaitGroup
+	closed  bool
+
+	searchers sync.Pool
+	rngMu     sync.Mutex
+	rng       *rand.Rand
+}
+
+// sealJob is one filled leaf handed to the async merge worker.
+type sealJob struct {
+	lo, hi int
+}
+
+// New returns an empty MBI index.
+func New(opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:  opts,
+		store: vec.NewStore(opts.Dim),
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x6d6269)), // query-entry rng, distinct stream from builds
+	}
+	ix.searchers.New = func() any { return graph.NewSearcher(0) }
+	if opts.AsyncMerge {
+		ix.jobs = make(chan sealJob, 16)
+		go ix.mergeWorker()
+	}
+	return ix, nil
+}
+
+// Options returns the index configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.store.Len()
+}
+
+// Append inserts a timestamped vector (Algorithm 3). Timestamps must be
+// non-decreasing — the time-accumulating setting of the paper. When the
+// open leaf reaches S_L vectors its graph is built and bottom-up block
+// merging creates every ancestor whose subtree just became complete,
+// building their graphs in parallel when Options.Workers > 1.
+func (ix *Index) Append(v []float32, t int64) error {
+	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return fmt.Errorf("mbi: index is closed")
+	}
+	if n := len(ix.times); n > 0 && t < ix.times[n-1] {
+		ix.mu.Unlock()
+		return fmt.Errorf("mbi: timestamp %d precedes last timestamp %d", t, ix.times[n-1])
+	}
+	if _, err := ix.store.Append(v); err != nil {
+		ix.mu.Unlock()
+		return err
+	}
+	ix.times = append(ix.times, t)
+
+	var job *sealJob
+	if ix.store.Len()-ix.openLo >= ix.opts.LeafSize {
+		if ix.opts.AsyncMerge {
+			job = &sealJob{lo: ix.openLo, hi: ix.store.Len()}
+			ix.pending.Add(1)
+			ix.openLo = ix.store.Len()
+		} else {
+			ix.sealLeafLocked()
+		}
+	}
+	ix.mu.Unlock()
+	if job != nil {
+		// Sent outside the lock: a full queue applies backpressure to the
+		// appender without deadlocking the worker's install step.
+		ix.jobs <- *job
+	}
+	return nil
+}
+
+// AppendBatch inserts vectors in bulk; ts[i] is the timestamp of vs[i].
+// Semantically identical to calling Append in a loop, but holds the lock
+// once.
+func (ix *Index) AppendBatch(vs [][]float32, ts []int64) error {
+	if len(vs) != len(ts) {
+		return fmt.Errorf("mbi: %d vectors but %d timestamps", len(vs), len(ts))
+	}
+	var jobs []sealJob
+	err := func() error {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		if ix.closed {
+			return fmt.Errorf("mbi: index is closed")
+		}
+		for i, v := range vs {
+			if n := len(ix.times); n > 0 && ts[i] < ix.times[n-1] {
+				return fmt.Errorf("mbi: timestamp %d precedes last timestamp %d", ts[i], ix.times[n-1])
+			}
+			if _, err := ix.store.Append(v); err != nil {
+				return err
+			}
+			ix.times = append(ix.times, ts[i])
+			if ix.store.Len()-ix.openLo >= ix.opts.LeafSize {
+				if ix.opts.AsyncMerge {
+					jobs = append(jobs, sealJob{lo: ix.openLo, hi: ix.store.Len()})
+					ix.pending.Add(1)
+					ix.openLo = ix.store.Len()
+				} else {
+					ix.sealLeafLocked()
+				}
+			}
+		}
+		return nil
+	}()
+	for _, job := range jobs {
+		ix.jobs <- job // queued even on a later validation error: the data is committed
+	}
+	return err
+}
+
+// sealLeafLocked builds the graph for the just-filled leaf and performs
+// bottom-up block merging (Algorithm 3 lines 4-14). Caller holds mu.
+func (ix *Index) sealLeafLocked() {
+	n := ix.store.Len()
+
+	// Determine the full cascade up front: the leaf, then one parent per
+	// trailing forest root of matching height. Knowing every range in
+	// advance is what lets the graphs build in parallel (§4.2).
+	type pending struct {
+		lo, hi, height int
+	}
+	cascade := []pending{{ix.openLo, n, 0}}
+	curH := 0
+	for i := len(ix.forest) - 1; i >= 0; i-- {
+		root := &ix.blocks[ix.forest[i]]
+		if root.Height != curH {
+			break
+		}
+		curH++
+		cascade = append(cascade, pending{root.Lo, n, curH})
+	}
+
+	// Build all graphs, in parallel when configured. Block i (by creation
+	// order) gets seed Seed + i for reproducibility.
+	base := len(ix.blocks)
+	graphs := make([]*graph.CSR, len(cascade))
+	build := func(i int) {
+		p := cascade[i]
+		view := vec.View{Store: ix.store, Lo: p.lo, Hi: p.hi, Metric: ix.opts.Metric}
+		graphs[i] = ix.opts.Builder.Build(view, ix.opts.Seed+int64(base+i))
+	}
+	if ix.opts.Workers > 1 && len(cascade) > 1 {
+		sem := make(chan struct{}, ix.opts.Workers)
+		var wg sync.WaitGroup
+		for i := range cascade {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				build(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range cascade {
+			build(i)
+		}
+	}
+
+	// Install in creation order: leaf first, then ancestors by height —
+	// exactly the postorder numbering Algorithm 3 prescribes.
+	for i, p := range cascade {
+		ix.blocks = append(ix.blocks, Block{Lo: p.lo, Hi: p.hi, Height: p.height, Graph: graphs[i]})
+	}
+	// Update the forest: the cascade's topmost block replaces the roots it
+	// merged.
+	merged := len(cascade) - 1
+	ix.forest = ix.forest[:len(ix.forest)-merged]
+	ix.forest = append(ix.forest, base+len(cascade)-1)
+	ix.openLo = n
+}
+
+// blockWindowLocked returns the time window [ts, te) of the global range
+// [lo, hi): ts is its earliest timestamp, te the exclusive upper bound —
+// the timestamp of the first vector after the range, or lastTime+1 when
+// the range ends the database (§4.3's B_c.t_s / B_c.t_e). Caller holds mu.
+func (ix *Index) blockWindowLocked(lo, hi int) (int64, int64) {
+	ts := ix.times[lo]
+	if hi < len(ix.times) {
+		return ts, ix.times[hi]
+	}
+	return ts, ix.times[len(ix.times)-1] + 1
+}
+
+// selection is one block chosen by top-down block selection; openLeaf
+// marks the pseudo-range of vectors without an installed graph (the open
+// leaf, plus any async-sealed ranges whose builds are in flight), which is
+// handled by brute force (Algorithm 4 lines 5-6).
+type selection struct {
+	lo, hi   int
+	g        *graph.CSR
+	openLeaf bool
+}
+
+// installedHiLocked returns the end of the region covered by installed
+// blocks. Synchronous indexes keep this equal to openLo; with AsyncMerge
+// it can trail openLo while builds are in flight. Caller holds mu.
+func (ix *Index) installedHiLocked() int {
+	if len(ix.forest) == 0 {
+		return 0
+	}
+	return ix.blocks[ix.forest[len(ix.forest)-1]].Hi
+}
+
+// selectBlocksLocked runs top-down block selection (Algorithm 4,
+// BlockSelection) over the forest of complete subtrees plus the
+// brute-force tail (open leaf and pending async builds). Caller holds mu.
+func (ix *Index) selectBlocksLocked(ts, te int64, tau float64) []selection {
+	var out []selection
+	for _, root := range ix.forest {
+		ix.selectInLocked(root, ts, te, tau, &out)
+	}
+	// Everything past the installed blocks behaves as a non-full leaf:
+	// included whenever it overlaps the window (case 2 applies to every
+	// leaf), answered exactly by brute force.
+	if tail := ix.installedHiLocked(); tail < ix.store.Len() {
+		bts, bte := ix.blockWindowLocked(tail, ix.store.Len())
+		if overlaps(bts, bte, ts, te) {
+			out = append(out, selection{lo: tail, hi: ix.store.Len(), openLeaf: true})
+		}
+	}
+	return out
+}
+
+func overlaps(bts, bte, ts, te int64) bool {
+	if bte > bts {
+		return min64(bte, te) > max64(bts, ts)
+	}
+	// Degenerate block window (all timestamps equal): it overlaps iff the
+	// query window contains that single timestamp.
+	return ts <= bts && bts < te
+}
+
+// selectInLocked implements the three cases of Algorithm 4 for the subtree
+// rooted at block bi.
+func (ix *Index) selectInLocked(bi int, ts, te int64, tau float64, out *[]selection) {
+	b := &ix.blocks[bi]
+	bts, bte := ix.blockWindowLocked(b.Lo, b.Hi)
+	if !overlaps(bts, bte, ts, te) {
+		return // case 1: r_o = 0
+	}
+	ro := 1.0
+	if bte > bts {
+		ro = float64(min64(bte, te)-max64(bts, ts)) / float64(bte-bts)
+	}
+	if b.Height == 0 || ro > tau {
+		// Case 2: leaves always count; internal blocks count when the
+		// window covers more than τ of them.
+		*out = append(*out, selection{lo: b.Lo, hi: b.Hi, g: b.Graph})
+		return
+	}
+	// Case 3: recurse into the children. Postorder numbering puts the
+	// right child at bi-1 and the left child at bi-2^h.
+	left := bi - (1 << uint(b.Height))
+	right := bi - 1
+	ix.selectInLocked(left, ts, te, tau, out)
+	ix.selectInLocked(right, ts, te, tau, out)
+}
+
+// Search answers a TkNN query q = (w, k, ts, te) with the index's default
+// Algorithm 2 parameters, returning up to k results ordered by ascending
+// distance. IDs are global insertion indices. Fewer than k results are
+// returned when the window holds fewer than k vectors.
+func (ix *Index) Search(q []float32, k int, ts, te int64) []theap.Neighbor {
+	ix.rngMu.Lock()
+	seed := ix.rng.Int63()
+	ix.rngMu.Unlock()
+	return ix.SearchWith(q, k, ts, te, ix.opts.Search, rand.New(rand.NewSource(seed)))
+}
+
+// SearchWith answers a TkNN query with explicit Algorithm 2 parameters and
+// an explicit source of entry-point randomness, for reproducible
+// experiments. rng must not be shared across goroutines.
+func (ix *Index) SearchWith(q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	return ix.SearchTau(q, k, ts, te, ix.opts.Tau, p, rng)
+}
+
+// SearchTau is SearchWith with an explicit block-selection threshold τ,
+// used by the τ-sweep experiment (Figure 9). τ is a pure query-time
+// parameter — no index state depends on it.
+func (ix *Index) SearchTau(q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	if k <= 0 || ts >= te {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.store.Len() == 0 {
+		return nil
+	}
+
+	sel := ix.selectBlocksLocked(ts, te, tau)
+	if len(sel) == 0 {
+		return nil
+	}
+	if len(sel) == 1 {
+		return ix.searchBlockLocked(sel[0], q, k, ts, te, p, rng)
+	}
+	lists := make([][]theap.Neighbor, 0, len(sel))
+	for _, s := range sel {
+		if r := ix.searchBlockLocked(s, q, k, ts, te, p, rng); len(r) > 0 {
+			lists = append(lists, r)
+		}
+	}
+	return theap.Merge(k, lists...) // Algorithm 4 line 9
+}
+
+// searchBlockLocked answers the query within one selected block: graph
+// search (Algorithm 2) for sealed blocks, brute force (Algorithm 1) for
+// the open leaf. Returned IDs are global. Caller holds mu.RLock.
+func (ix *Index) searchBlockLocked(s selection, q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	if s.openLeaf {
+		lo, hi := bsbf.WindowOf(ix.times[s.lo:s.hi], ts, te)
+		return bsbf.ScanRange(ix.store, ix.opts.Metric, q, k, s.lo+lo, s.lo+hi)
+	}
+	view := vec.View{Store: ix.store, Lo: s.lo, Hi: s.hi, Metric: ix.opts.Metric}
+	times := ix.times
+	base := int32(s.lo)
+	filter := func(local int32) bool {
+		t := times[base+int32(local)]
+		return t >= ts && t < te
+	}
+	sr := ix.searchers.Get().(*graph.Searcher)
+	res := sr.Search(s.g, view, q, k, filter, p, graph.RandomEntry(rng, s.hi-s.lo))
+	ix.searchers.Put(sr)
+	for i := range res {
+		res[i].ID += base
+	}
+	return res
+}
+
+// SelectedBlockCount returns how many blocks top-down selection would
+// search for the window [ts, te) with threshold tau — exposed for the
+// Lemma 4.1 tests and explain-style diagnostics.
+func (ix *Index) SelectedBlockCount(ts, te int64, tau float64) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.selectBlocksLocked(ts, te, tau))
+}
+
+// SelectedRanges returns the global [lo, hi) ranges selection would search,
+// in timestamp order; used by tests to verify the cover property.
+func (ix *Index) SelectedRanges(ts, te int64, tau float64) [][2]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	sel := ix.selectBlocksLocked(ts, te, tau)
+	out := make([][2]int, len(sel))
+	for i, s := range sel {
+		out[i] = [2]int{s.lo, s.hi}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BlockPlan describes one block that top-down selection chose for a query
+// window.
+type BlockPlan struct {
+	// Lo, Hi is the block's global vector range.
+	Lo, Hi int
+	// Height is the block's tree height (0 = leaf); -1 marks the open
+	// (non-full) leaf, which is scanned by brute force.
+	Height int
+	// WindowStart, WindowEnd is the block's time window [t_s, t_e).
+	WindowStart, WindowEnd int64
+	// OverlapRatio is r_o(q, B), the fraction of the block's window
+	// covered by the query (the quantity Algorithm 4 thresholds on).
+	OverlapRatio float64
+	// InWindow is the number of the block's vectors inside the query
+	// window — the work a brute-force scan would do, and the candidate
+	// pool a graph search filters for.
+	InWindow int
+	// BruteForce reports whether this block is answered by brute force
+	// (only the open leaf) rather than graph search.
+	BruteForce bool
+}
+
+// Plan is the result of Explain: everything block selection decided for a
+// query window, without running the search.
+type Plan struct {
+	// Tau is the threshold the plan was computed with.
+	Tau float64
+	// WindowStart, WindowEnd echo the query window.
+	WindowStart, WindowEnd int64
+	// TotalInWindow is the number of indexed vectors inside the window.
+	TotalInWindow int
+	// Blocks are the selected blocks in timestamp order.
+	Blocks []BlockPlan
+}
+
+// String renders the plan like an EXPLAIN output.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window [%d, %d): %d vectors in %d block(s), tau=%.2f\n",
+		p.WindowStart, p.WindowEnd, p.TotalInWindow, len(p.Blocks), p.Tau)
+	for _, blk := range p.Blocks {
+		kind := fmt.Sprintf("height %d, graph", blk.Height)
+		if blk.BruteForce {
+			kind = "open leaf, brute force"
+		}
+		fmt.Fprintf(&b, "  block [%d, %d) %-24s overlap %.2f, %d/%d vectors in window\n",
+			blk.Lo, blk.Hi, "("+kind+")", blk.OverlapRatio, blk.InWindow, blk.Hi-blk.Lo)
+	}
+	return b.String()
+}
+
+// Explain runs top-down block selection for the window [ts, te) with the
+// index's configured τ and reports what a query would search, without
+// searching. Use ExplainTau to inspect a different threshold.
+func (ix *Index) Explain(ts, te int64) Plan {
+	return ix.ExplainTau(ts, te, ix.opts.Tau)
+}
+
+// ExplainTau is Explain with an explicit τ.
+func (ix *Index) ExplainTau(ts, te int64, tau float64) Plan {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	plan := Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
+	if ix.store.Len() == 0 || ts >= te {
+		return plan
+	}
+	for _, s := range ix.selectBlocksLocked(ts, te, tau) {
+		bts, bte := ix.blockWindowLocked(s.lo, s.hi)
+		ro := 1.0
+		if bte > bts {
+			ro = float64(min64(bte, te)-max64(bts, ts)) / float64(bte-bts)
+		}
+		if ro > 1 {
+			ro = 1
+		}
+		inWindow := countInWindow(ix.times[s.lo:s.hi], ts, te)
+		height := -1
+		if !s.openLeaf {
+			height = ix.heightOfRangeLocked(s.lo, s.hi)
+		}
+		plan.Blocks = append(plan.Blocks, BlockPlan{
+			Lo: s.lo, Hi: s.hi,
+			Height:      height,
+			WindowStart: bts, WindowEnd: bte,
+			OverlapRatio: ro,
+			InWindow:     inWindow,
+			BruteForce:   s.openLeaf,
+		})
+		plan.TotalInWindow += inWindow
+	}
+	return plan
+}
+
+// heightOfRangeLocked resolves a selected range back to its block height.
+// Selection only returns ranges of real blocks, so the lookup always hits.
+func (ix *Index) heightOfRangeLocked(lo, hi int) int {
+	for i := len(ix.blocks) - 1; i >= 0; i-- {
+		if ix.blocks[i].Lo == lo && ix.blocks[i].Hi == hi {
+			return ix.blocks[i].Height
+		}
+	}
+	return -1
+}
+
+// countInWindow counts timestamps in [ts, te) within a sorted slice.
+func countInWindow(times []int64, ts, te int64) int {
+	lo, hi := 0, len(times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if times[mid] < ts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	lo, hi = start, len(times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if times[mid] < te {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - start
+}

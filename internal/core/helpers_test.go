@@ -1,0 +1,21 @@
+package core
+
+import (
+	"repro/internal/bsbf"
+	"repro/internal/graph"
+	"repro/internal/theap"
+)
+
+// graphParamsExhaustive returns search parameters that make Algorithm 2
+// visit every reachable node: an effectively infinite frontier and bound.
+func graphParamsExhaustive() graph.SearchParams {
+	return graph.SearchParams{MC: 1 << 30, Eps: 1e9}
+}
+
+// bruteForce computes the exact TkNN answer against an index's data.
+func bruteForce(ix *Index, q []float32, k int, ts, te int64) []theap.Neighbor {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	lo, hi := bsbf.WindowOf(ix.times, ts, te)
+	return bsbf.ScanRange(ix.store, ix.opts.Metric, q, k, lo, hi)
+}

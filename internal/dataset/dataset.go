@@ -1,0 +1,228 @@
+// Package dataset provides the workloads for the experiments: synthetic
+// stand-ins for the paper's six datasets (Table 2), exact ground truth for
+// TkNN queries, recall@k, and query-window sampling.
+//
+// The paper's real datasets (MovieLens, COMS satellite embeddings,
+// GloVe-100, SIFT1M, GIST1M, DEEP1B) are not redistributable here, so each
+// profile generates a clustered Gaussian mixture with the same
+// dimensionality and metric, scaled to laptop size. Clustered data keeps
+// graph-based search meaningful (uniform random points in high dimension
+// make every method degenerate to brute force). Timestamps are the
+// insertion index, exactly how the paper treats GloVe/SIFT/GIST/DEEP
+// ("we consider the index of each item as its virtual timestamp").
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Profile describes one dataset stand-in plus the default parameters the
+// paper's Table 3 assigns to it, rescaled to this repository's default
+// sizes.
+type Profile struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// Dim and Metric match the paper's Table 2 exactly.
+	Dim    int
+	Metric vec.Metric
+	// TrainN and TestN are the laptop-scale default sizes; Scale adjusts.
+	TrainN, TestN int
+	// Clusters controls the Gaussian mixture the generator draws from.
+	Clusters int
+	// ClusterStd is the total L2 norm of intra-cluster noise relative to
+	// the unit-norm cluster centers. Values near or above 1 make clusters
+	// overlap like real embedding clouds do; well-separated balls
+	// (values << 1) are unrealistically hard for single-entry graph
+	// search and unrealistically easy for everything else.
+	ClusterStd float64
+	// Background is the fraction of points drawn from a broad ambient
+	// Gaussian instead of a cluster, mimicking the long tail of real
+	// embedding datasets.
+	Background float64
+	// LeafSize is the default S_L, scaled from Table 3 in proportion to
+	// TrainN versus the paper's dataset size.
+	LeafSize int
+	// Tau is the paper's best-performing τ for this dataset (Table 3
+	// lists one or two; the first is used as default).
+	Tau float64
+	// GraphK is the NNDescent neighbor count (Table 3's "# neighbors",
+	// scaled down with the dataset).
+	GraphK int
+	// MC is the Algorithm 2 candidate cap M_C (Table 3, scaled).
+	MC int
+	// PaperTrainN and PaperTestN are the paper's Table 2 sizes, kept for
+	// the Table 2 report.
+	PaperTrainN, PaperTestN int
+	// PaperLeafSize is the paper's Table 3 S_L.
+	PaperLeafSize int
+}
+
+// Profiles returns the six dataset stand-ins in the paper's Table 2 order.
+// Default sizes keep a full experiment run tractable on one core; the
+// Scale method enlarges them proportionally.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "MovieLens", Dim: 32, Metric: vec.Angular,
+			TrainN: 12000, TestN: 200, Clusters: 60, ClusterStd: 1.0, Background: 0.1,
+			LeafSize: 750, Tau: 0.5, GraphK: 20, MC: 40,
+			PaperTrainN: 57571, PaperTestN: 200, PaperLeafSize: 3550,
+		},
+		{
+			Name: "COMS", Dim: 128, Metric: vec.Angular,
+			TrainN: 12000, TestN: 200, Clusters: 40, ClusterStd: 0.9, Background: 0.1,
+			LeafSize: 400, Tau: 0.2, GraphK: 24, MC: 48,
+			PaperTrainN: 291180, PaperTestN: 200, PaperLeafSize: 1000,
+		},
+		{
+			Name: "GloVe-100", Dim: 100, Metric: vec.Angular,
+			TrainN: 16000, TestN: 400, Clusters: 80, ClusterStd: 1.1, Background: 0.1,
+			LeafSize: 1000, Tau: 0.2, GraphK: 24, MC: 48,
+			PaperTrainN: 1183514, PaperTestN: 10000, PaperLeafSize: 36000,
+		},
+		{
+			Name: "SIFT1M", Dim: 128, Metric: vec.Euclidean,
+			TrainN: 16000, TestN: 400, Clusters: 64, ClusterStd: 1.0, Background: 0.1,
+			LeafSize: 1000, Tau: 0.3, GraphK: 24, MC: 48,
+			PaperTrainN: 1000000, PaperTestN: 10000, PaperLeafSize: 15625,
+		},
+		{
+			Name: "GIST1M", Dim: 960, Metric: vec.Euclidean,
+			TrainN: 4000, TestN: 100, Clusters: 32, ClusterStd: 1.0, Background: 0.1,
+			LeafSize: 250, Tau: 0.3, GraphK: 24, MC: 64,
+			PaperTrainN: 1000000, PaperTestN: 1000, PaperLeafSize: 15625,
+		},
+		{
+			Name: "DEEP1B", Dim: 96, Metric: vec.Angular,
+			TrainN: 20000, TestN: 400, Clusters: 100, ClusterStd: 1.0, Background: 0.1,
+			LeafSize: 1250, Tau: 0.2, GraphK: 16, MC: 32,
+			PaperTrainN: 9990000, PaperTestN: 10000, PaperLeafSize: 78000,
+		},
+	}
+}
+
+// ProfileByName looks a profile up case-insensitively by its paper name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if equalFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dataset: unknown profile %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale returns a copy of p with TrainN, TestN, and LeafSize multiplied by
+// factor (minimums keep the tree non-degenerate).
+func (p Profile) Scale(factor float64) Profile {
+	if factor <= 0 || factor == 1 {
+		return p
+	}
+	scaled := p
+	scaled.TrainN = maxInt(8*maxInt(p.LeafSizeScaledMin(), 1), int(float64(p.TrainN)*factor))
+	scaled.TestN = maxInt(50, int(float64(p.TestN)*factor))
+	scaled.LeafSize = maxInt(p.LeafSizeScaledMin(), int(float64(p.LeafSize)*factor))
+	return scaled
+}
+
+// LeafSizeScaledMin is the smallest leaf size that keeps the per-block
+// graphs denser than their node degree.
+func (p Profile) LeafSizeScaledMin() int { return 2 * p.GraphK }
+
+// Data is one generated workload: a timestamped training set plus held-out
+// query vectors (the paper samples queries from the data and excludes them
+// from indexing, §5.2).
+type Data struct {
+	Profile Profile
+	Train   *vec.Store
+	Times   []int64
+	Test    [][]float32
+}
+
+// InputBytes returns the raw size of the training vectors, the "Input Data
+// Size" column of Table 4.
+func (d *Data) InputBytes() int64 {
+	return int64(d.Train.Len()) * int64(d.Train.Dim()) * 4
+}
+
+// Generate draws the workload for profile p. The same (p, seed) pair
+// always yields identical data.
+func Generate(p Profile, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, p.Clusters)
+	for c := range centers {
+		v := make([]float32, p.Dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		// Unit-norm centers put clusters on the sphere, which suits both
+		// metrics: angular data is normalized anyway, and Euclidean data
+		// gets well-separated modes.
+		vec.Normalize(v)
+		centers[c] = v
+	}
+
+	noiseScale := p.ClusterStd / math.Sqrt(float64(p.Dim))
+	bgScale := 0.7 / math.Sqrt(float64(p.Dim))
+	sample := func() []float32 {
+		v := make([]float32, p.Dim)
+		if rng.Float64() < p.Background {
+			// Ambient long-tail point.
+			for i := range v {
+				v[i] = float32(rng.NormFloat64() * bgScale)
+			}
+		} else {
+			c := centers[rng.Intn(p.Clusters)]
+			for i := range v {
+				v[i] = c[i] + float32(rng.NormFloat64()*noiseScale)
+			}
+		}
+		if p.Metric == vec.Angular {
+			vec.Normalize(v)
+		}
+		return v
+	}
+
+	train := vec.NewStoreCap(p.Dim, p.TrainN)
+	times := make([]int64, p.TrainN)
+	for i := 0; i < p.TrainN; i++ {
+		if _, err := train.Append(sample()); err != nil {
+			panic(err) // dimensions are internally consistent
+		}
+		times[i] = int64(i)
+	}
+	test := make([][]float32, p.TestN)
+	for i := range test {
+		test[i] = sample()
+	}
+	return &Data{Profile: p, Train: train, Times: times, Test: test}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

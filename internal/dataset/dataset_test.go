@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("%d profiles, want 6 (Table 2)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Dim <= 0 || p.TrainN <= 0 || p.TestN <= 0 || p.Clusters <= 0 {
+			t.Errorf("%s: non-positive sizes %+v", p.Name, p)
+		}
+		if !p.Metric.Valid() {
+			t.Errorf("%s: invalid metric", p.Name)
+		}
+		if p.LeafSize < p.LeafSizeScaledMin() {
+			t.Errorf("%s: leaf size %d below minimum %d", p.Name, p.LeafSize, p.LeafSizeScaledMin())
+		}
+		if p.Tau <= 0 || p.Tau > 1 {
+			t.Errorf("%s: tau %g out of range", p.Name, p.Tau)
+		}
+		if p.TrainN < 8*p.LeafSize {
+			t.Errorf("%s: train size %d gives fewer than 8 leaves (S_L=%d)", p.Name, p.TrainN, p.LeafSize)
+		}
+	}
+}
+
+func TestProfileTable2Fidelity(t *testing.T) {
+	// Dimensions and metrics must match the paper's Table 2 exactly.
+	want := map[string]struct {
+		dim    int
+		metric vec.Metric
+	}{
+		"MovieLens": {32, vec.Angular},
+		"COMS":      {128, vec.Angular},
+		"GloVe-100": {100, vec.Angular},
+		"SIFT1M":    {128, vec.Euclidean},
+		"GIST1M":    {960, vec.Euclidean},
+		"DEEP1B":    {96, vec.Angular},
+	}
+	for _, p := range Profiles() {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.Dim != w.dim || p.Metric != w.metric {
+			t.Errorf("%s: dim/metric = %d/%v, paper says %d/%v", p.Name, p.Dim, p.Metric, w.dim, w.metric)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("sift1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "SIFT1M" {
+		t.Errorf("got %q", p.Name)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ProfileByName("COMS")
+	up := p.Scale(2)
+	if up.TrainN <= p.TrainN || up.LeafSize <= p.LeafSize {
+		t.Errorf("Scale(2) did not grow: %+v", up)
+	}
+	down := p.Scale(0.1)
+	if down.LeafSize < down.LeafSizeScaledMin() {
+		t.Errorf("Scale(0.1) leaf size %d below minimum", down.LeafSize)
+	}
+	if down.TrainN < 8*down.LeafSizeScaledMin() {
+		t.Errorf("Scale(0.1) train size %d too small for a tree", down.TrainN)
+	}
+	same := p.Scale(1)
+	if same != p {
+		t.Error("Scale(1) should be identity")
+	}
+}
+
+func TestGenerateDeterministicAndShaped(t *testing.T) {
+	p, _ := ProfileByName("MovieLens")
+	p.TrainN, p.TestN = 500, 20
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if a.Train.Len() != 500 || len(a.Test) != 20 || len(a.Times) != 500 {
+		t.Fatalf("sizes: train %d test %d times %d", a.Train.Len(), len(a.Test), len(a.Times))
+	}
+	for i := 0; i < 500; i++ {
+		av, bv := a.Train.At(i), b.Train.At(i)
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("vector %d differs between same-seed generations", i)
+			}
+		}
+		if a.Times[i] != int64(i) {
+			t.Fatalf("timestamp %d = %d, want %d", i, a.Times[i], i)
+		}
+	}
+	c := Generate(p, 43)
+	same := true
+	for j, x := range a.Train.At(0) {
+		if x != c.Train.At(0)[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first vectors")
+	}
+}
+
+func TestGenerateAngularIsNormalized(t *testing.T) {
+	p, _ := ProfileByName("COMS")
+	p.TrainN, p.TestN = 200, 10
+	d := Generate(p, 7)
+	for i := 0; i < d.Train.Len(); i++ {
+		n := vec.SquaredNorm(d.Train.At(i))
+		if math.Abs(float64(n)-1) > 1e-3 {
+			t.Fatalf("train vector %d has squared norm %g", i, n)
+		}
+	}
+	for i, v := range d.Test {
+		n := vec.SquaredNorm(v)
+		if math.Abs(float64(n)-1) > 1e-3 {
+			t.Fatalf("test vector %d has squared norm %g", i, n)
+		}
+	}
+}
+
+func TestInputBytes(t *testing.T) {
+	p, _ := ProfileByName("MovieLens")
+	p.TrainN, p.TestN = 100, 5
+	d := Generate(p, 1)
+	if got, want := d.InputBytes(), int64(100*32*4); got != want {
+		t.Errorf("InputBytes = %d, want %d", got, want)
+	}
+}
+
+func TestWindowForFraction(t *testing.T) {
+	times := make([]int64, 1000)
+	for i := range times {
+		times[i] = int64(i * 3) // gaps
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []float64{0.001, 0.01, 0.25, 0.5, 1.0} {
+		for trial := 0; trial < 50; trial++ {
+			ts, te := WindowForFraction(rng, times, f)
+			if ts >= te {
+				t.Fatalf("f=%g: empty window [%d, %d)", f, ts, te)
+			}
+			// Count covered items; should be within one of the target.
+			count := 0
+			for _, tt := range times {
+				if tt >= ts && tt < te {
+					count++
+				}
+			}
+			want := int(f * 1000)
+			if want < 1 {
+				want = 1
+			}
+			if count != want {
+				t.Fatalf("f=%g: window covers %d items, want %d", f, count, want)
+			}
+		}
+	}
+}
+
+func TestMakeQueriesShape(t *testing.T) {
+	p, _ := ProfileByName("MovieLens")
+	p.TrainN, p.TestN = 300, 12
+	d := Generate(p, 3)
+	rng := rand.New(rand.NewSource(4))
+	qs := MakeQueries(rng, d, 7, 0.2)
+	if len(qs) != 12 {
+		t.Fatalf("%d queries, want 12", len(qs))
+	}
+	for _, q := range qs {
+		if q.K != 7 || len(q.W) != 32 || q.Ts >= q.Te {
+			t.Fatalf("malformed query %+v", q)
+		}
+	}
+}
+
+func TestGroundTruthMatchesSerial(t *testing.T) {
+	p, _ := ProfileByName("MovieLens")
+	p.TrainN, p.TestN = 400, 20
+	d := Generate(p, 5)
+	rng := rand.New(rand.NewSource(6))
+	qs := MakeQueries(rng, d, 5, 0.3)
+	par := GroundTruth(d.Train, d.Times, p.Metric, qs, 4)
+	ser := GroundTruth(d.Train, d.Times, p.Metric, qs, 1)
+	for i := range qs {
+		if len(par[i]) != len(ser[i]) {
+			t.Fatalf("query %d: %d vs %d results", i, len(par[i]), len(ser[i]))
+		}
+		for j := range par[i] {
+			if par[i][j] != ser[i][j] {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRecallScoring(t *testing.T) {
+	exact := []theap.Neighbor{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}, {ID: 3, Dist: 3}}
+	cases := []struct {
+		name   string
+		approx []theap.Neighbor
+		k      int
+		want   float64
+	}{
+		{"perfect", exact, 3, 1},
+		{"miss one", []theap.Neighbor{{ID: 1, Dist: 1}, {ID: 2, Dist: 2}, {ID: 9, Dist: 9}}, 3, 2.0 / 3},
+		{"empty approx", nil, 3, 0},
+		{"tie counts", []theap.Neighbor{{ID: 7, Dist: 1}, {ID: 8, Dist: 2}, {ID: 9, Dist: 3}}, 3, 1},
+		{"k beyond exact", exact, 5, 1}, // scored against the 3 that exist
+		{"k zero", exact, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Recall(c.approx, exact, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: recall = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRecallEmptyWindow(t *testing.T) {
+	// Exact answer empty (window held nothing): trivially perfect.
+	if got := Recall(nil, nil, 5); got != 1 {
+		t.Errorf("empty-exact recall = %g, want 1", got)
+	}
+}
+
+func TestMeanRecall(t *testing.T) {
+	exact := [][]theap.Neighbor{
+		{{ID: 1, Dist: 1}},
+		{{ID: 2, Dist: 2}},
+	}
+	approx := [][]theap.Neighbor{
+		{{ID: 1, Dist: 1}},
+		{{ID: 9, Dist: 9}},
+	}
+	got, err := MeanRecall(approx, exact, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mean recall = %g, want 0.5", got)
+	}
+	if _, err := MeanRecall(approx[:1], exact, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MeanRecall(nil, nil, 1); err == nil {
+		t.Error("empty batch accepted")
+	}
+}

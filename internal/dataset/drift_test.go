@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func driftProfile() Profile {
+	p, _ := ProfileByName("DEEP1B")
+	p.TrainN, p.TestN = 2000, 20
+	return p
+}
+
+func TestGenerateDriftingDeterministic(t *testing.T) {
+	p := driftProfile()
+	cfg := DriftConfig{Rate: 1e-3, Renormalize: true}
+	a := GenerateDrifting(p, cfg, 9)
+	b := GenerateDrifting(p, cfg, 9)
+	if a.Train.Len() != p.TrainN || len(a.Test) != p.TestN {
+		t.Fatalf("sizes %d/%d", a.Train.Len(), len(a.Test))
+	}
+	for i := 0; i < a.Train.Len(); i += 97 {
+		av, bv := a.Train.At(i), b.Train.At(i)
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("vector %d differs between same-seed generations", i)
+			}
+		}
+	}
+}
+
+func TestDriftIncreasesSpread(t *testing.T) {
+	p := driftProfile()
+	var prev float32 = -1
+	for _, rate := range []float64{0, 5e-3, 2e-2} {
+		d := GenerateDrifting(p, DriftConfig{Rate: rate, Renormalize: true}, 11)
+		spread := CenterSpread(d)
+		if spread < 0 {
+			t.Fatalf("negative spread %g", spread)
+		}
+		if rate > 0 && spread <= prev {
+			t.Errorf("rate %g: spread %g not larger than previous %g", rate, spread, prev)
+		}
+		prev = spread
+	}
+}
+
+func TestDriftZeroMatchesStationaryShape(t *testing.T) {
+	// Rate 0 should behave like the stationary generator statistically:
+	// tiny first/last decile centroid distance.
+	p := driftProfile()
+	d := GenerateDrifting(p, DriftConfig{Rate: 0}, 13)
+	// Sampling noise for 500-vector centroids of ~unit vectors is about
+	// sqrt(2/500)*||x|| ~ 0.07; anything near that means no drift.
+	if spread := CenterSpread(d); spread > 0.2 {
+		t.Errorf("zero-drift spread %g, want sampling noise only", spread)
+	}
+	// Angular profile data is normalized.
+	for i := 0; i < d.Train.Len(); i += 211 {
+		n := vec.SquaredNorm(d.Train.At(i))
+		if n < 0.99 || n > 1.01 {
+			t.Fatalf("vector %d squared norm %g", i, n)
+		}
+	}
+}
+
+func TestCenterSpreadTinyData(t *testing.T) {
+	p := driftProfile()
+	p.TrainN, p.TestN = 10, 2
+	d := GenerateDrifting(p, DriftConfig{Rate: 1}, 15)
+	if got := CenterSpread(d); got != 0 {
+		t.Errorf("tiny-data spread = %g, want 0 sentinel", got)
+	}
+}

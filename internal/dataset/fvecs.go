@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/vec"
+)
+
+// This file reads the TEXMEX corpus formats the paper's public datasets
+// ship in (http://corpus-texmex.irisa.fr/): .fvecs holds float32 vectors,
+// .ivecs int32 vectors (used for precomputed ground truth). Each record
+// is a little-endian int32 dimension followed by that many values. With
+// the real SIFT1M/GIST1M/GloVe files on disk, LoadReal swaps them in for
+// the synthetic stand-ins; timestamps are the record index, exactly how
+// the paper treats datasets without native time (§5.1.2).
+
+// ReadFVecs parses an .fvecs stream. maxN > 0 caps the number of vectors
+// read; maxN <= 0 reads everything.
+func ReadFVecs(r io.Reader, maxN int) (*vec.Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var store *vec.Store
+	for n := 0; maxN <= 0 || n < maxN; n++ {
+		dim, err := readDim(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fvecs: record %d: %w", n, err)
+		}
+		buf := make([]float32, dim)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("fvecs: record %d body: %w", n, err)
+		}
+		if store == nil {
+			store = vec.NewStore(dim)
+		} else if store.Dim() != dim {
+			return nil, fmt.Errorf("fvecs: record %d has dim %d, want %d", n, dim, store.Dim())
+		}
+		if _, err := store.Append(buf); err != nil {
+			return nil, err
+		}
+	}
+	if store == nil {
+		return nil, fmt.Errorf("fvecs: empty input")
+	}
+	return store, nil
+}
+
+// ReadIVecs parses an .ivecs stream (e.g. TEXMEX ground-truth files,
+// where record i lists the true neighbor ids of query i).
+func ReadIVecs(r io.Reader, maxN int) ([][]int32, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var out [][]int32
+	for n := 0; maxN <= 0 || n < maxN; n++ {
+		dim, err := readDim(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ivecs: record %d: %w", n, err)
+		}
+		rec := make([]int32, dim)
+		if err := binary.Read(br, binary.LittleEndian, rec); err != nil {
+			return nil, fmt.Errorf("ivecs: record %d body: %w", n, err)
+		}
+		out = append(out, rec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ivecs: empty input")
+	}
+	return out, nil
+}
+
+func readDim(br *bufio.Reader) (int, error) {
+	var dim int32
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, io.EOF
+		}
+		return 0, err
+	}
+	if dim <= 0 || dim > 1<<20 {
+		return 0, fmt.Errorf("implausible dimension %d", dim)
+	}
+	return int(dim), nil
+}
+
+// WriteFVecs writes a store in .fvecs format — the inverse of ReadFVecs,
+// used by tests and for exporting synthetic workloads to other tools.
+func WriteFVecs(w io.Writer, store *vec.Store) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	dim := int32(store.Dim())
+	for i := 0; i < store.Len(); i++ {
+		if err := binary.Write(bw, binary.LittleEndian, dim); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, store.At(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RealFiles names the on-disk files for a real dataset.
+type RealFiles struct {
+	// Train is the base-vector .fvecs file (required).
+	Train string
+	// Test is the query-vector .fvecs file (optional: when empty, the
+	// last TestN train vectors are held out as queries).
+	Test string
+	// TestN caps the number of queries when Test is empty. Zero means 200.
+	TestN int
+}
+
+// LoadReal builds a Data workload from real .fvecs files, replacing the
+// synthetic generator for profile p. The profile supplies the metric and
+// the index parameters; the dimension is taken from the file and checked
+// against the profile's. maxN > 0 caps the training size.
+func LoadReal(p Profile, files RealFiles, maxN int) (*Data, error) {
+	f, err := os.Open(files.Train)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	train, err := ReadFVecs(f, maxN)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", files.Train, err)
+	}
+	if train.Dim() != p.Dim {
+		return nil, fmt.Errorf("dataset: %s has dim %d, profile %s expects %d",
+			files.Train, train.Dim(), p.Name, p.Dim)
+	}
+
+	var test [][]float32
+	if files.Test != "" {
+		tf, err := os.Open(files.Test)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		testStore, err := ReadFVecs(tf, 0)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", files.Test, err)
+		}
+		if testStore.Dim() != p.Dim {
+			return nil, fmt.Errorf("dataset: %s has dim %d, profile %s expects %d",
+				files.Test, testStore.Dim(), p.Name, p.Dim)
+		}
+		for i := 0; i < testStore.Len(); i++ {
+			v := make([]float32, p.Dim)
+			copy(v, testStore.At(i))
+			test = append(test, v)
+		}
+	} else {
+		// Hold out the tail as queries (the paper samples 200 vectors and
+		// excludes them from indexing).
+		testN := files.TestN
+		if testN == 0 {
+			testN = 200
+		}
+		if testN >= train.Len() {
+			return nil, fmt.Errorf("dataset: %d vectors cannot spare %d held-out queries", train.Len(), testN)
+		}
+		keep := train.Len() - testN
+		for i := keep; i < train.Len(); i++ {
+			v := make([]float32, p.Dim)
+			copy(v, train.At(i))
+			test = append(test, v)
+		}
+		trimmed, err := vec.FromRaw(p.Dim, train.Raw()[:keep*p.Dim])
+		if err != nil {
+			return nil, err
+		}
+		train = trimmed
+	}
+
+	times := make([]int64, train.Len())
+	for i := range times {
+		times[i] = int64(i) // virtual timestamps, as in §5.1.2
+	}
+	scaled := p
+	scaled.TrainN = train.Len()
+	scaled.TestN = len(test)
+	return &Data{Profile: scaled, Train: train, Times: times, Test: test}, nil
+}

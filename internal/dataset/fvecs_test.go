@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func randomStore(seed int64, n, dim int) *vec.Store {
+	rng := rand.New(rand.NewSource(seed))
+	s := vec.NewStore(dim)
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		if _, err := s.Append(v); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func TestFVecsRoundTrip(t *testing.T) {
+	want := randomStore(1, 57, 16)
+	var buf bytes.Buffer
+	if err := WriteFVecs(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	// TEXMEX record size: 4 (dim) + 4*dim bytes.
+	if got, wantLen := buf.Len(), 57*(4+4*16); got != wantLen {
+		t.Errorf("encoded %d bytes, want %d", got, wantLen)
+	}
+	got, err := ReadFVecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 57 || got.Dim() != 16 {
+		t.Fatalf("read %d x %d", got.Len(), got.Dim())
+	}
+	for i := 0; i < 57; i++ {
+		a, b := want.At(i), got.At(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("vector %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadFVecsMaxN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFVecs(&buf, randomStore(2, 30, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFVecs(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Errorf("read %d, want 10", got.Len())
+	}
+}
+
+func TestReadFVecsRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"negative dim": binaryLE(int32(-1)),
+		"huge dim":     binaryLE(int32(1 << 24)),
+		"truncated":    append(binaryLE(int32(4)), 1, 2, 3), // 3 of 16 body bytes
+		"mixed dims":   append(append(append(binaryLE(int32(2)), binaryLE(float32(1), float32(2))...), binaryLE(int32(3))...), binaryLE(float32(1), float32(2), float32(3))...),
+	}
+	for name, raw := range cases {
+		if _, err := ReadFVecs(bytes.NewReader(raw), 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestIVecsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	// Two records of ids.
+	for _, rec := range [][]int32{{5, 2, 9}, {1, 1, 1}} {
+		if err := binary.Write(&buf, binary.LittleEndian, int32(len(rec))); err != nil {
+			t.Fatal(err)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadIVecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][2] != 9 || got[1][0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ReadIVecs(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty ivecs accepted")
+	}
+}
+
+func TestLoadRealWithHoldout(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.fvecs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := randomStore(3, 300, 32)
+	if err := WriteFVecs(f, store); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, _ := ProfileByName("MovieLens") // dim 32 matches
+	d, err := LoadReal(p, RealFiles{Train: path, TestN: 50}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Train.Len() != 250 || len(d.Test) != 50 {
+		t.Fatalf("train %d test %d", d.Train.Len(), len(d.Test))
+	}
+	// Held-out queries are the tail vectors.
+	for j, x := range d.Test[0] {
+		if x != store.At(250)[j] {
+			t.Fatal("first held-out query is not train vector 250")
+		}
+	}
+	for i, tm := range d.Times {
+		if tm != int64(i) {
+			t.Fatal("virtual timestamps not sequential")
+		}
+	}
+	if d.Profile.TrainN != 250 || d.Profile.TestN != 50 {
+		t.Errorf("profile sizes not updated: %+v", d.Profile)
+	}
+}
+
+func TestLoadRealWithQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.fvecs")
+	queries := filepath.Join(dir, "query.fvecs")
+	for path, seed, n := base, int64(4), 100; ; {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFVecs(f, randomStore(seed, n, 32)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if path == queries {
+			break
+		}
+		path, seed, n = queries, 5, 7
+	}
+	p, _ := ProfileByName("MovieLens")
+	d, err := LoadReal(p, RealFiles{Train: base, Test: queries}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Train.Len() != 100 || len(d.Test) != 7 {
+		t.Fatalf("train %d test %d", d.Train.Len(), len(d.Test))
+	}
+}
+
+func TestLoadRealValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.fvecs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFVecs(f, randomStore(6, 50, 16)); err != nil { // wrong dim for MovieLens
+		t.Fatal(err)
+	}
+	f.Close()
+	p, _ := ProfileByName("MovieLens")
+	if _, err := LoadReal(p, RealFiles{Train: path}, 0); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := LoadReal(p, RealFiles{Train: filepath.Join(dir, "missing.fvecs")}, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Too few vectors to spare the holdout.
+	small := filepath.Join(dir, "small.fvecs")
+	f, err = os.Create(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store32 := randomStore(7, 10, 32)
+	if err := WriteFVecs(f, store32); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadReal(p, RealFiles{Train: small, TestN: 50}, 0); err == nil {
+		t.Error("insufficient holdout accepted")
+	}
+}
+
+func binaryLE(vs ...any) []byte {
+	var buf bytes.Buffer
+	for _, v := range vs {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bsbf"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Query is one TkNN query q = (W, K, Ts, Te) against a workload.
+type Query struct {
+	W      []float32
+	K      int
+	Ts, Te int64
+}
+
+// WindowForFraction samples a random query time window covering fraction f
+// of the n indexed vectors, mirroring §5.2: "the start and end times of
+// the query time window are randomly determined to cover a fraction of the
+// entire data". Timestamps are taken from times (sorted ascending).
+func WindowForFraction(rng *rand.Rand, times []int64, f float64) (ts, te int64) {
+	n := len(times)
+	wlen := int(f * float64(n))
+	if wlen < 1 {
+		wlen = 1
+	}
+	if wlen > n {
+		wlen = n
+	}
+	start := 0
+	if n > wlen {
+		start = rng.Intn(n - wlen + 1)
+	}
+	ts = times[start]
+	if start+wlen < n {
+		te = times[start+wlen]
+	} else {
+		te = times[n-1] + 1
+	}
+	return ts, te
+}
+
+// MakeQueries builds one query per test vector with windows covering
+// fraction f of the data and result count k.
+func MakeQueries(rng *rand.Rand, d *Data, k int, f float64) []Query {
+	qs := make([]Query, len(d.Test))
+	for i, w := range d.Test {
+		ts, te := WindowForFraction(rng, d.Times, f)
+		qs[i] = Query{W: w, K: k, Ts: ts, Te: te}
+	}
+	return qs
+}
+
+// GroundTruth computes the exact answer of every query by brute force,
+// fanning queries across workers goroutines (0 means 1).
+func GroundTruth(store *vec.Store, times []int64, metric vec.Metric, qs []Query, workers int) [][]theap.Neighbor {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]theap.Neighbor, len(qs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(qs) {
+					return
+				}
+				q := qs[i]
+				lo, hi := bsbf.WindowOf(times, q.Ts, q.Te)
+				out[i] = bsbf.ScanRange(store, metric, q.W, q.K, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Recall returns recall@k of an approximate answer against the exact one.
+//
+// It counts an approximate result as a hit if its distance is within the
+// exact k-th distance (with a tiny relative slack for float roundoff) —
+// the distance-based recall used by ann-benchmarks, which is robust to
+// ties that make set intersection under-count.
+func Recall(approx, exact []theap.Neighbor, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(exact) < k {
+		k = len(exact) // window holds fewer than k vectors; score against what exists
+	}
+	if k == 0 {
+		return 1 // nothing to find: trivially perfect
+	}
+	threshold := exact[k-1].Dist
+	threshold += absf(threshold) * 1e-5
+	hits := 0
+	for i, a := range approx {
+		if i >= k {
+			break
+		}
+		if a.Dist <= threshold {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MeanRecall averages Recall across a query batch.
+func MeanRecall(approx, exact [][]theap.Neighbor, k int) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("dataset: %d approximate answers for %d exact", len(approx), len(exact))
+	}
+	if len(approx) == 0 {
+		return 0, fmt.Errorf("dataset: no answers to score")
+	}
+	var sum float64
+	for i := range approx {
+		sum += Recall(approx[i], exact[i], k)
+	}
+	return sum / float64(len(approx)), nil
+}
+
+func absf(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

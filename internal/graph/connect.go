@@ -1,0 +1,198 @@
+package graph
+
+import "math/rand"
+
+// EnsureConnected returns g augmented with the minimum bridging edges
+// needed so that every node is reachable from every other when edges are
+// followed in both directions.
+//
+// A pure kNN graph over clustered data splits into one component per
+// cluster, which makes single-entry best-first search (Algorithm 2) blind
+// to every cluster but the entry's. Production graph indexes repair this
+// after construction (NGT's connectivity adjustment, Vamana's medoid
+// links); this function does the same: it finds weakly-connected
+// components with a BFS, then for each secondary component adds one
+// bidirectional edge between a near pair of sampled nodes across the cut.
+// The graph is modified by rebuilding; g itself is not mutated.
+func EnsureConnected(g *CSR, view DistancerView, rng *rand.Rand) *CSR {
+	n := g.NumNodes()
+	if n <= 1 {
+		return g
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Undirected reachability needs reverse edges; build in-degree lists.
+	rev := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for _, nb := range g.Neighbors(int32(v)) {
+			rev[nb] = append(rev[nb], int32(v))
+		}
+	}
+	var comps [][]int32
+	queue := make([]int32, 0, n)
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := int32(len(comps))
+		queue = append(queue[:0], int32(start))
+		comp[start] = id
+		members := []int32{int32(start)}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range g.Neighbors(v) {
+				if comp[nb] == -1 {
+					comp[nb] = id
+					members = append(members, nb)
+					queue = append(queue, nb)
+				}
+			}
+			for _, nb := range rev[v] {
+				if comp[nb] == -1 {
+					comp[nb] = id
+					members = append(members, nb)
+					queue = append(queue, nb)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	if len(comps) == 1 {
+		return g
+	}
+
+	// Bridge every pair of components directly with their closest sampled
+	// cross pairs. Pairwise (rather than spanning-tree) bridging matters
+	// for search quality: with a tree, walking from cluster A to cluster B
+	// may require passing through a cluster farther from the query than A,
+	// and Algorithm 2's ε admission gate refuses such uphill moves once
+	// the result set is full. A direct A-B bridge is always downhill.
+	// Beyond pairCap components, pairwise bridging is quadratic, so the
+	// smallest components collapse into their nearest larger neighbor
+	// first via star bridging.
+	const (
+		sampleCap = 48
+		bridges   = 2  // bidirectional edges per component pair
+		pairCap   = 24 // max components bridged pairwise
+	)
+	samples := make([][]int32, len(comps))
+	for i, c := range comps {
+		samples[i] = sampleNodes(c, sampleCap, rng)
+	}
+
+	extra := make(map[int32][]int32)
+	addBest := func(sideA, sideB []int32, count int) {
+		type pair struct {
+			a, b int32
+			d    float32
+		}
+		best := make([]pair, 0, count)
+		for _, a := range sideA {
+			for _, b := range sideB {
+				d := view.Dist(int(a), int(b))
+				if len(best) < count {
+					best = append(best, pair{a, b, d})
+					for j := len(best) - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+						best[j], best[j-1] = best[j-1], best[j]
+					}
+					continue
+				}
+				if d < best[count-1].d {
+					best[count-1] = pair{a, b, d}
+					for j := count - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+						best[j], best[j-1] = best[j-1], best[j]
+					}
+				}
+			}
+		}
+		for _, p := range best {
+			extra[p.a] = append(extra[p.a], p.b)
+			extra[p.b] = append(extra[p.b], p.a)
+		}
+	}
+
+	if len(comps) > pairCap {
+		// Sort component ids by size descending; star-bridge the tail
+		// onto the largest pairCap components' pooled sample.
+		bySize := make([]int, len(comps))
+		for i := range bySize {
+			bySize[i] = i
+		}
+		for i := 1; i < len(bySize); i++ {
+			x := bySize[i]
+			j := i - 1
+			for j >= 0 && len(comps[bySize[j]]) < len(comps[x]) {
+				bySize[j+1] = bySize[j]
+				j--
+			}
+			bySize[j+1] = x
+		}
+		var pool []int32
+		for _, ci := range bySize[:pairCap] {
+			pool = append(pool, sampleNodes(samples[ci], 8, rng)...)
+		}
+		for _, ci := range bySize[pairCap:] {
+			addBest(samples[ci], pool, bridges)
+		}
+		// Pairwise-bridge the big components below.
+		kept := make([][]int32, 0, pairCap)
+		for _, ci := range bySize[:pairCap] {
+			kept = append(kept, samples[ci])
+		}
+		samples = kept
+	}
+	for i := 0; i < len(samples); i++ {
+		for j := i + 1; j < len(samples); j++ {
+			addBest(samples[i], samples[j], bridges)
+		}
+	}
+
+	lists := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nbs := g.Neighbors(int32(v))
+		add := extra[int32(v)]
+		if len(add) == 0 {
+			lists[v] = nbs
+			continue
+		}
+		merged := make([]int32, 0, len(nbs)+len(add))
+		merged = append(merged, nbs...)
+		for _, a := range add {
+			dup := false
+			for _, existing := range merged {
+				if existing == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				merged = append(merged, a)
+			}
+		}
+		lists[v] = merged
+	}
+	return FromLists(lists)
+}
+
+// DistancerView is the subset of vec.View that EnsureConnected needs;
+// declared here to avoid an import cycle in tests that stub distances.
+type DistancerView interface {
+	Dist(i, j int) float32
+}
+
+func sampleNodes(pool []int32, limit int, rng *rand.Rand) []int32 {
+	if len(pool) <= limit {
+		out := make([]int32, len(pool))
+		copy(out, pool)
+		return out
+	}
+	out := make([]int32, limit)
+	perm := rng.Perm(len(pool))
+	for i := 0; i < limit; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// twoBlobsView creates two well-separated 2-d blobs of n points each with
+// a kNN-style graph connecting only within blobs.
+func twoBlobsView(t *testing.T, n int) (*CSR, vec.View) {
+	t.Helper()
+	s := vec.NewStore(2)
+	rng := rand.New(rand.NewSource(1))
+	for blob := 0; blob < 2; blob++ {
+		cx := float32(blob * 100)
+		for i := 0; i < n; i++ {
+			if _, err := s.Append([]float32{cx + float32(rng.NormFloat64()), float32(rng.NormFloat64())}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	view := vec.View{Store: s, Lo: 0, Hi: 2 * n, Metric: vec.Euclidean}
+	lists := make([][]int32, 2*n)
+	// Ring within each blob: connected per blob, disconnected across.
+	for blob := 0; blob < 2; blob++ {
+		for i := 0; i < n; i++ {
+			v := blob*n + i
+			next := blob*n + (i+1)%n
+			lists[v] = append(lists[v], int32(next))
+			lists[next] = append(lists[next], int32(v))
+		}
+	}
+	return FromLists(lists), view
+}
+
+func countComponents(g *CSR) int {
+	n := g.NumNodes()
+	rev := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for _, nb := range g.Neighbors(int32(v)) {
+			rev[nb] = append(rev[nb], int32(v))
+		}
+	}
+	seen := make([]bool, n)
+	comps := 0
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		comps++
+		queue := []int32{int32(start)}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range g.Neighbors(v) {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+			for _, nb := range rev[v] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+func TestEnsureConnectedBridgesComponents(t *testing.T) {
+	g, view := twoBlobsView(t, 50)
+	if countComponents(g) != 2 {
+		t.Fatalf("setup: expected 2 components, got %d", countComponents(g))
+	}
+	fixed := EnsureConnected(g, view, rand.New(rand.NewSource(2)))
+	if got := countComponents(fixed); got != 1 {
+		t.Errorf("after EnsureConnected: %d components, want 1", got)
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Errorf("bridged graph invalid: %v", err)
+	}
+	// Bridges are short: they connect near pairs across the cut, not
+	// arbitrary nodes. Every added edge should be shorter than the blob
+	// separation plus intra-blob diameter allowance.
+	extra := fixed.NumEdges() - g.NumEdges()
+	if extra < 2 || extra > 12 {
+		t.Errorf("added %d edges, want a handful of bidirectional bridges", extra)
+	}
+}
+
+func TestEnsureConnectedNoopWhenConnected(t *testing.T) {
+	g, view := twoBlobsView(t, 30)
+	fixed := EnsureConnected(g, view, rand.New(rand.NewSource(3)))
+	again := EnsureConnected(fixed, view, rand.New(rand.NewSource(4)))
+	if again.NumEdges() != fixed.NumEdges() {
+		t.Errorf("second pass changed edges: %d -> %d", fixed.NumEdges(), again.NumEdges())
+	}
+}
+
+func TestEnsureConnectedTrivialGraphs(t *testing.T) {
+	var view vec.View
+	empty := &CSR{Off: []int32{0}}
+	if got := EnsureConnected(empty, view, rand.New(rand.NewSource(1))); got != empty {
+		t.Error("empty graph should be returned unchanged")
+	}
+	single := FromLists([][]int32{{}})
+	if got := EnsureConnected(single, view, rand.New(rand.NewSource(1))); got != single {
+		t.Error("single-node graph should be returned unchanged")
+	}
+}
+
+func TestEnsureConnectedManyComponents(t *testing.T) {
+	// 10 isolated nodes on a line: every node its own component.
+	s := vec.NewStore(1)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append([]float32{float32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := vec.View{Store: s, Lo: 0, Hi: 10, Metric: vec.Euclidean}
+	g := FromLists(make([][]int32, 10))
+	fixed := EnsureConnected(g, view, rand.New(rand.NewSource(5)))
+	if got := countComponents(fixed); got != 1 {
+		t.Errorf("%d components after repair, want 1", got)
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Errorf("repaired graph invalid: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math/rand"
+
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// SearchParams carries the tunables of Algorithm 2.
+type SearchParams struct {
+	// MC is the maximum candidate-set size M_C: when the frontier grows
+	// past it, only the M_C nearest candidates are retained (line 16-17).
+	MC int
+	// Eps is the range-extension factor ε ≥ 1 controlling how far past the
+	// current k-th distance the traversal keeps expanding once the result
+	// set is full (line 11). Larger values trade speed for recall; the
+	// paper sweeps 1.00–1.40 in steps of 0.02.
+	Eps float32
+}
+
+// Searcher runs time-filtered best-first graph searches (Algorithm 2) over
+// a fixed graph + view pair, reusing its internal buffers between queries.
+// A Searcher is NOT safe for concurrent use; create one per goroutine.
+type Searcher struct {
+	visited  []uint32 // epoch-stamped instead of cleared per query
+	epoch    uint32
+	frontier theap.MinQueue
+}
+
+// NewSearcher returns a Searcher sized for graphs up to n nodes. It grows
+// on demand, so n is only a pre-allocation hint.
+func NewSearcher(n int) *Searcher {
+	return &Searcher{visited: make([]uint32, n)}
+}
+
+// Filter restricts which nodes may enter the result set. For a TkNN query
+// it is the time-window test t_s <= t < t_e on the node's timestamp; nodes
+// failing the filter are still traversed (they guide the walk), they just
+// never become results — exactly the SF modification in §3.2.2.
+type Filter func(local int32) bool
+
+// Search runs Algorithm 2: a best-first walk of g starting from entry,
+// collecting into a size-k result heap only nodes accepted by filter.
+// Results are returned in ascending distance order with local node ids.
+//
+// entry should be a uniformly random node of the view (line 1 of the
+// algorithm); callers pass it in so that query-level determinism is under
+// their control.
+func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filter, p SearchParams, entry int32) []theap.Neighbor {
+	n := g.NumNodes()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	// Euclidean views compare squared distances, so the range-extension
+	// factor is squared to keep ε's meaning ("explore up to ε times the
+	// current k-th distance") metric-independent and comparable to the
+	// paper's 1.00–1.40 sweep.
+	eps := p.Eps
+	if view.Metric == vec.Euclidean {
+		eps *= eps
+	}
+	s.beginEpoch(n)
+	result := theap.NewTopK(k)
+	s.frontier.Reset()
+
+	s.markSeen(entry)
+	s.frontier.Push(theap.Neighbor{ID: entry, Dist: view.DistTo(q, int(entry))})
+
+	// The loop runs until the candidate set is exhausted (line 5): unlike
+	// many best-first searches there is no early break on the frontier
+	// minimum — exploration is bounded instead by the ε admission gate
+	// (line 11) and the M_C frontier cap (lines 16-17), exactly as the
+	// paper specifies. ε therefore directly controls how much of the
+	// query's neighborhood is visited.
+	for s.frontier.Len() > 0 {
+		cur := s.frontier.Pop() // argmin over C \ V (line 6)
+
+		// Lines 8-11: expand neighbors, bounding by eps * worst(R) once
+		// the result set is full.
+		var bound float32
+		bounded := false
+		if result.Full() {
+			bound = eps * result.Worst()
+			bounded = true
+		}
+		for _, nb := range g.Neighbors(cur.ID) {
+			if s.seen(nb) {
+				continue
+			}
+			s.markSeen(nb)
+			d := view.DistTo(q, int(nb))
+			if bounded && d >= bound {
+				continue
+			}
+			s.frontier.Push(theap.Neighbor{ID: nb, Dist: d})
+		}
+
+		// Lines 12-15: admit the visited node into R if it passes the
+		// time filter.
+		if filter == nil || filter(cur.ID) {
+			result.Push(cur)
+		}
+
+		// Lines 16-17: cap the candidate set at M_C nearest.
+		if p.MC > 0 && s.frontier.Len() > p.MC {
+			s.frontier.TrimTo(p.MC)
+		}
+	}
+	return result.Items()
+}
+
+// RandomEntry picks a uniform entry node for a graph with n nodes.
+func RandomEntry(rng *rand.Rand, n int) int32 {
+	return int32(rng.Intn(n))
+}
+
+func (s *Searcher) beginEpoch(n int) {
+	if len(s.visited) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear and restart
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *Searcher) seen(i int32) bool { return s.visited[i] == s.epoch }
+func (s *Searcher) markSeen(i int32)  { s.visited[i] = s.epoch }

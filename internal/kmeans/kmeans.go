@@ -1,0 +1,184 @@
+// Package kmeans implements k-means clustering with k-means++ seeding and
+// Lloyd iterations over a vec.View. It is the coarse quantizer behind the
+// IVF index (internal/ivf), written from scratch on the standard library.
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Config controls a clustering run.
+type Config struct {
+	// K is the number of centroids.
+	K int
+	// MaxIter caps the Lloyd iterations. Zero means 15.
+	MaxIter int
+	// MinMove stops early when fewer than MinMove fraction of points
+	// change assignment in an iteration. Zero means 0.01.
+	MinMove float64
+}
+
+// Result is a finished clustering: centroids plus each point's assignment.
+type Result struct {
+	// Centroids holds K centroid vectors.
+	Centroids *vec.Store
+	// Assign[i] is the centroid index of point i.
+	Assign []int32
+	// Sizes[c] is the number of points assigned to centroid c.
+	Sizes []int
+	// Iters is the number of Lloyd iterations run.
+	Iters int
+}
+
+// Run clusters the view's vectors. Distances always use squared Euclidean
+// — the standard k-means objective — regardless of the view's metric;
+// for angular data the caller should normalize first (then Euclidean and
+// cosine orderings agree). seed drives the k-means++ initialization.
+func Run(view vec.View, cfg Config, seed int64) (*Result, error) {
+	n := view.Len()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty input")
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 15
+	}
+	minMove := cfg.MinMove
+	if minMove == 0 {
+		minMove = 0.01
+	}
+	dim := view.Store.Dim()
+	rng := rand.New(rand.NewSource(seed))
+
+	centroids := seedPlusPlus(view, k, rng)
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		moved := 0
+		for c := range sums {
+			sizes[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			p := view.At(i)
+			best, bestD := int32(0), vec.SquaredL2(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := vec.SquaredL2(p, centroids[c]); d < bestD {
+					best, bestD = int32(c), d
+				}
+			}
+			if assign[i] != best {
+				moved++
+				assign[i] = best
+			}
+			sizes[best]++
+			for j, x := range p {
+				sums[best][j] += float64(x)
+			}
+		}
+		// Update step; empty clusters are re-seeded at a random point so
+		// K stays effective.
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				copy(centroids[c], view.At(rng.Intn(n)))
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = float32(sums[c][j] / float64(sizes[c]))
+			}
+		}
+		if float64(moved) < minMove*float64(n) {
+			iters++
+			break
+		}
+	}
+
+	// Final assignment against the last centroid update.
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		p := view.At(i)
+		best, bestD := int32(0), vec.SquaredL2(p, centroids[0])
+		for c := 1; c < k; c++ {
+			if d := vec.SquaredL2(p, centroids[c]); d < bestD {
+				best, bestD = int32(c), d
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+	}
+
+	out := vec.NewStoreCap(dim, k)
+	for _, c := range centroids {
+		if _, err := out.Append(c); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Centroids: out, Assign: assign, Sizes: sizes, Iters: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule: each
+// next centroid is drawn with probability proportional to its squared
+// distance from the nearest already-chosen one.
+func seedPlusPlus(view vec.View, k int, rng *rand.Rand) [][]float32 {
+	n := view.Len()
+	dim := view.Store.Dim()
+	centroids := make([][]float32, 0, k)
+	first := make([]float32, dim)
+	copy(first, view.At(rng.Intn(n)))
+	centroids = append(centroids, first)
+
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = float64(vec.SquaredL2(view.At(i), first))
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n) // all points identical to some centroid
+		} else {
+			r := rng.Float64() * total
+			for idx = 0; idx < n-1; idx++ {
+				r -= d2[idx]
+				if r <= 0 {
+					break
+				}
+			}
+		}
+		next := make([]float32, dim)
+		copy(next, view.At(idx))
+		centroids = append(centroids, next)
+		for i := range d2 {
+			if d := float64(vec.SquaredL2(view.At(i), next)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

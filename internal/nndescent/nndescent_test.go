@@ -1,0 +1,258 @@
+package nndescent
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// clusteredView generates n clustered points in dim dimensions.
+func clusteredView(seed int64, n, dim, clusters int, metric vec.Metric) vec.View {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, clusters)
+	for c := range centers {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		centers[c] = v
+	}
+	s := vec.NewStore(dim)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(clusters)]
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64()*0.15)
+		}
+		if _, err := s.Append(v); err != nil {
+			panic(err)
+		}
+	}
+	return vec.View{Store: s, Lo: 0, Hi: n, Metric: metric}
+}
+
+// graphRecall measures the fraction of true k-nearest neighbors present in
+// each node's adjacency, averaged over sampled nodes.
+func graphRecall(t *testing.T, view vec.View, adj func(int32) []int32, k, samples int, rng *rand.Rand) float64 {
+	t.Helper()
+	n := view.Len()
+	var sum float64
+	for s := 0; s < samples; s++ {
+		v := rng.Intn(n)
+		// Exact k nearest of v.
+		type nd struct {
+			id   int32
+			dist float32
+		}
+		var exact []nd
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			exact = append(exact, nd{int32(u), view.Dist(v, u)})
+		}
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(exact); j++ {
+				if exact[j].dist < exact[best].dist {
+					best = j
+				}
+			}
+			exact[i], exact[best] = exact[best], exact[i]
+		}
+		have := map[int32]bool{}
+		for _, nb := range adj(int32(v)) {
+			have[nb] = true
+		}
+		hits := 0
+		for i := 0; i < k; i++ {
+			if have[exact[i].id] {
+				hits++
+			}
+		}
+		sum += float64(hits) / float64(k)
+	}
+	return sum / float64(samples)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, Rho: 1, Delta: 0.001, MaxIter: 5},
+		{K: 8, Rho: 0, Delta: 0.001, MaxIter: 5},
+		{K: 8, Rho: 1.5, Delta: 0.001, MaxIter: 5},
+		{K: 8, Rho: 1, Delta: -1, MaxIter: 5},
+		{K: 8, Rho: 1, Delta: 0.001, MaxIter: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig(16)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config should panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	b := MustNew(DefaultConfig(8))
+	s := vec.NewStore(4)
+	empty := vec.View{Store: s, Lo: 0, Hi: 0, Metric: vec.Euclidean}
+	g := b.Build(empty, 1)
+	if g.NumNodes() != 0 {
+		t.Errorf("empty view built %d nodes", g.NumNodes())
+	}
+
+	if _, err := s.Append([]float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	single := vec.View{Store: s, Lo: 0, Hi: 1, Metric: vec.Euclidean}
+	g = b.Build(single, 1)
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("single-node graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBuildExactPathForSmallViews(t *testing.T) {
+	view := clusteredView(1, 100, 8, 4, vec.Euclidean)
+	b := MustNew(DefaultConfig(10))
+	g := b.Build(view, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes %d, want 100", g.NumNodes())
+	}
+	// Small views take the exact path: adjacency must equal the true kNN.
+	rng := rand.New(rand.NewSource(2))
+	rec := graphRecall(t, view, g.Neighbors, 10, 30, rng)
+	if rec < 0.999 {
+		t.Errorf("exact-path graph recall %.3f, want 1.0", rec)
+	}
+}
+
+func TestBuildQualityOnClusteredData(t *testing.T) {
+	view := clusteredView(3, 2000, 16, 10, vec.Euclidean)
+	b := MustNew(DefaultConfig(16))
+	g := b.Build(view, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rec := graphRecall(t, view, g.Neighbors, 8, 40, rng)
+	// NNDescent converges to near-exact graphs on easy clustered data.
+	if rec < 0.85 {
+		t.Errorf("graph recall %.3f, want >= 0.85", rec)
+	}
+}
+
+func TestBuildQualityAngular(t *testing.T) {
+	view := clusteredView(5, 1500, 24, 8, vec.Angular)
+	b := MustNew(DefaultConfig(12))
+	g := b.Build(view, 11)
+	rng := rand.New(rand.NewSource(6))
+	rec := graphRecall(t, view, g.Neighbors, 6, 30, rng)
+	if rec < 0.8 {
+		t.Errorf("angular graph recall %.3f, want >= 0.8", rec)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	view := clusteredView(7, 800, 8, 6, vec.Euclidean)
+	b := MustNew(DefaultConfig(8))
+	g1 := b.Build(view, 42)
+	g2 := b.Build(view, 42)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for i := range g1.Adj {
+		if g1.Adj[i] != g2.Adj[i] {
+			t.Fatalf("adjacency differs at %d: %d vs %d", i, g1.Adj[i], g2.Adj[i])
+		}
+	}
+}
+
+func TestBuildDifferentSeedsDiffer(t *testing.T) {
+	view := clusteredView(7, 800, 8, 6, vec.Euclidean)
+	b := MustNew(Config{K: 8, Rho: 0.5, Delta: 0.01, MaxIter: 2}) // few iters: randomness visible
+	g1 := b.Build(view, 1)
+	g2 := b.Build(view, 2)
+	same := true
+	if g1.NumEdges() != g2.NumEdges() {
+		same = false
+	} else {
+		for i := range g1.Adj {
+			if g1.Adj[i] != g2.Adj[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical partially-converged graphs")
+	}
+}
+
+func TestBuildDegreeShape(t *testing.T) {
+	view := clusteredView(9, 1000, 8, 5, vec.Euclidean)
+	k := 12
+	b := MustNew(DefaultConfig(k))
+	g := b.Build(view, 3)
+	// The symmetrized graph has out-degree K plus in-degree (mean K), so
+	// the average sits near 2K. Hubs can exceed that but total edges are
+	// bounded by twice the directed kNN edges plus bridges.
+	n := g.NumNodes()
+	if g.NumEdges() < n*k {
+		t.Errorf("%d edges for %d nodes, want >= n*K=%d (every node keeps its K out-edges)", g.NumEdges(), n, n*k)
+	}
+	maxEdges := 2*n*k + 8*n // symmetrization doubles; bridges add a few
+	if g.NumEdges() > maxEdges {
+		t.Errorf("%d edges, want <= %d", g.NumEdges(), maxEdges)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if d := len(g.Neighbors(v)); d < k {
+			t.Fatalf("node %d has degree %d < K=%d", v, d, k)
+		}
+	}
+}
+
+func TestBuildKLargerThanN(t *testing.T) {
+	view := clusteredView(11, 10, 4, 2, vec.Euclidean)
+	b := MustNew(DefaultConfig(64))
+	g := b.Build(view, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// K is clamped to n-1: every node connects to all others.
+	for v := int32(0); int(v) < 10; v++ {
+		if d := len(g.Neighbors(v)); d != 9 {
+			t.Fatalf("node %d degree %d, want 9", v, d)
+		}
+	}
+}
+
+func TestNeighborsSortedByDistance(t *testing.T) {
+	view := clusteredView(13, 600, 8, 4, vec.Euclidean)
+	b := MustNew(DefaultConfig(8))
+	g := b.Build(view, 5)
+	for v := 0; v < g.NumNodes(); v += 37 {
+		nbs := g.Neighbors(int32(v))
+		prev := float32(-1)
+		for _, nb := range nbs {
+			d := view.Dist(v, int(nb))
+			if d < prev {
+				t.Fatalf("node %d neighbors not distance-sorted", v)
+			}
+			prev = d
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package nsw implements a Navigable Small World graph builder (Malkov et
+// al., Inf. Syst. 2014) as an alternative to NNDescent for indexing MBI
+// blocks. The paper notes that "any index structure for efficient kNN
+// search can be used" per block (§4.1); this package exists to exercise
+// that claim — it plugs into the same graph.Builder interface, and the
+// builder ablation in the benchmark harness compares the two.
+//
+// Construction is incremental: each vector is inserted by greedily
+// searching the graph built so far for its M nearest neighbors and
+// connecting to them bidirectionally, capping each node's degree.
+package nsw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Config holds NSW construction tunables.
+type Config struct {
+	// M is the number of bidirectional links created for each inserted
+	// vector.
+	M int
+	// MaxDegree caps a node's neighbor list; when exceeded, only the
+	// nearest MaxDegree neighbors are kept. Zero means 2*M.
+	MaxDegree int
+	// EFConstruction is the beam width of the insert-time search. Zero
+	// means 4*M.
+	EFConstruction int
+}
+
+// DefaultConfig returns an NSW configuration comparable in degree to an
+// NNDescent graph with k neighbors.
+func DefaultConfig(m int) Config {
+	return Config{M: m}
+}
+
+// Builder is a graph.Builder backed by NSW incremental construction.
+// It is immutable after construction and safe for concurrent Build calls.
+type Builder struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Builder.
+func New(cfg Config) (*Builder, error) {
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("nsw: M must be positive, got %d", cfg.M)
+	}
+	if cfg.MaxDegree < 0 || cfg.EFConstruction < 0 {
+		return nil, fmt.Errorf("nsw: negative limits (maxDegree=%d, efConstruction=%d)", cfg.MaxDegree, cfg.EFConstruction)
+	}
+	if cfg.MaxDegree == 0 {
+		cfg.MaxDegree = 2 * cfg.M
+	}
+	if cfg.EFConstruction == 0 {
+		cfg.EFConstruction = 4 * cfg.M
+	}
+	return &Builder{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on invalid configuration.
+func MustNew(cfg Config) *Builder {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Name implements graph.Builder.
+func (b *Builder) Name() string { return "nsw" }
+
+// Config returns the builder's configuration.
+func (b *Builder) Config() Config { return b.cfg }
+
+// Build implements graph.Builder.
+func (b *Builder) Build(view vec.View, seed int64) *graph.CSR {
+	n := view.Len()
+	if n == 0 {
+		return &graph.CSR{Off: []int32{0}}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	visited := make([]uint32, n)
+	var epoch uint32
+
+	// Insert in a random permutation: NSW quality degrades if insertion
+	// order correlates with spatial position, and MBI blocks arrive in
+	// timestamp order which may drift spatially.
+	order := rng.Perm(n)
+
+	var frontier theap.MinQueue
+	for step, vi := range order {
+		v := int32(vi)
+		if step == 0 {
+			continue // first node has nothing to connect to
+		}
+		// Beam search over the partial graph from a random inserted node.
+		entry := int32(order[rng.Intn(step)])
+		epoch++
+		nearest := beamSearch(view, adj, visited, epoch, &frontier, view.At(int(v)), entry, b.cfg.EFConstruction)
+
+		links := selectDiverse(view, int(v), nearest, b.cfg.M)
+		for _, nb := range links {
+			adj[v] = append(adj[v], nb)
+			adj[nb] = append(adj[nb], v)
+			if len(adj[nb]) > b.cfg.MaxDegree {
+				shrink(view, adj, nb, b.cfg.MaxDegree)
+			}
+		}
+	}
+	// Degree-capped shrinking can in rare cases isolate a region; repair
+	// connectivity so single-entry search reaches everything.
+	return graph.EnsureConnected(graph.FromLists(adj), view, rng)
+}
+
+// beamSearch finds up to ef nearest inserted nodes to q.
+func beamSearch(view vec.View, adj [][]int32, visited []uint32, epoch uint32, frontier *theap.MinQueue, q []float32, entry int32, ef int) []theap.Neighbor {
+	result := theap.NewTopK(ef)
+	frontier.Reset()
+	visited[entry] = epoch
+	frontier.Push(theap.Neighbor{ID: entry, Dist: view.DistTo(q, int(entry))})
+	for frontier.Len() > 0 {
+		cur := frontier.Pop()
+		if result.Full() && cur.Dist > result.Worst() {
+			break
+		}
+		result.Push(cur)
+		for _, nb := range adj[cur.ID] {
+			if visited[nb] == epoch {
+				continue
+			}
+			visited[nb] = epoch
+			d := view.DistTo(q, int(nb))
+			if result.Full() && d > result.Worst() {
+				continue
+			}
+			frontier.Push(theap.Neighbor{ID: nb, Dist: d})
+		}
+	}
+	return result.Items()
+}
+
+// selectDiverse picks up to m links for node v from distance-sorted
+// candidates using the select-neighbors diversity heuristic: a candidate
+// is kept only if it is closer to v than to every neighbor already kept.
+// This preserves the long-range edges naive nearest-only selection prunes,
+// keeping multi-cluster data navigable. Any remaining slots are filled
+// with the nearest skipped candidates.
+func selectDiverse(view vec.View, v int, cands []theap.Neighbor, m int) []int32 {
+	kept := make([]int32, 0, m)
+	var skipped []theap.Neighbor
+	for _, c := range cands {
+		if len(kept) == m {
+			break
+		}
+		diverse := true
+		for _, k := range kept {
+			if view.Dist(int(c.ID), int(k)) < c.Dist {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			kept = append(kept, c.ID)
+		} else {
+			skipped = append(skipped, c)
+		}
+	}
+	for _, c := range skipped {
+		if len(kept) == m {
+			break
+		}
+		kept = append(kept, c.ID)
+	}
+	return kept
+}
+
+// shrink trims node v's adjacency to maxDegree using the same diversity
+// heuristic as link selection.
+func shrink(view vec.View, adj [][]int32, v int32, maxDegree int) {
+	list := adj[v]
+	cands := make([]theap.Neighbor, 0, len(list))
+	seen := make(map[int32]struct{}, len(list))
+	for _, nb := range list {
+		if _, dup := seen[nb]; dup {
+			continue
+		}
+		seen[nb] = struct{}{}
+		cands = append(cands, theap.Neighbor{ID: nb, Dist: view.Dist(int(v), int(nb))})
+	}
+	// Sort ascending by distance (insertion sort; degree lists are short).
+	for i := 1; i < len(cands); i++ {
+		x := cands[i]
+		j := i - 1
+		for j >= 0 && theap.Less(x, cands[j]) {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = x
+	}
+	adj[v] = append(list[:0], selectDiverse(view, int(v), cands, maxDegree)...)
+}

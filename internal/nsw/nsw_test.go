@@ -1,0 +1,193 @@
+package nsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+func clusteredView(seed int64, n, dim, clusters int) vec.View {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, clusters)
+	for c := range centers {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		centers[c] = v
+	}
+	s := vec.NewStore(dim)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(clusters)]
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64()*0.15)
+		}
+		if _, err := s.Append(v); err != nil {
+			panic(err)
+		}
+	}
+	return vec.View{Store: s, Lo: 0, Hi: n, Metric: vec.Euclidean}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{M: 0}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := New(Config{M: 4, MaxDegree: -1}); err == nil {
+		t.Error("negative MaxDegree accepted")
+	}
+	if _, err := New(Config{M: 4, EFConstruction: -1}); err == nil {
+		t.Error("negative EFConstruction accepted")
+	}
+	b, err := New(Config{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Config(); got.MaxDegree != 16 || got.EFConstruction != 32 {
+		t.Errorf("defaults = %+v, want MaxDegree 16, EFConstruction 32", got)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config should panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	b := MustNew(DefaultConfig(4))
+	s := vec.NewStore(2)
+	g := b.Build(vec.View{Store: s, Lo: 0, Hi: 0, Metric: vec.Euclidean}, 1)
+	if g.NumNodes() != 0 {
+		t.Errorf("empty build: %d nodes", g.NumNodes())
+	}
+	if _, err := s.Append([]float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	g = b.Build(vec.View{Store: s, Lo: 0, Hi: 1, Metric: vec.Euclidean}, 1)
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("single build: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	view := clusteredView(1, 500, 8, 4)
+	cfg := Config{M: 6, MaxDegree: 10}
+	b := MustNew(cfg)
+	g := b.Build(view, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes %d, want 500", g.NumNodes())
+	}
+	for v := int32(0); int(v) < 500; v++ {
+		if d := len(g.Neighbors(v)); d > cfg.MaxDegree {
+			t.Fatalf("node %d degree %d > MaxDegree %d", v, d, cfg.MaxDegree)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	view := clusteredView(2, 400, 8, 4)
+	b := MustNew(DefaultConfig(6))
+	g1 := b.Build(view, 9)
+	g2 := b.Build(view, 9)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for i := range g1.Adj {
+		if g1.Adj[i] != g2.Adj[i] {
+			t.Fatalf("adjacency differs at %d", i)
+		}
+	}
+}
+
+// TestSearchableGraph verifies an NSW graph actually supports accurate
+// best-first kNN search — the property MBI relies on when plugging NSW in.
+func TestSearchableGraph(t *testing.T) {
+	view := clusteredView(3, 1500, 16, 8)
+	b := MustNew(DefaultConfig(12))
+	g := b.Build(view, 5)
+
+	sr := graph.NewSearcher(view.Len())
+	rng := rand.New(rand.NewSource(6))
+	p := graph.SearchParams{MC: 48, Eps: 1.3}
+	const trials, k = 40, 10
+	var recall float64
+	for i := 0; i < trials; i++ {
+		q := view.At(rng.Intn(view.Len()))
+		res := sr.Search(g, view, q, k, nil, p, graph.RandomEntry(rng, view.Len()))
+		// Exact k nearest by brute force.
+		exact := make([]theap.Neighbor, 0, view.Len())
+		for u := 0; u < view.Len(); u++ {
+			exact = append(exact, theap.Neighbor{ID: int32(u), Dist: view.DistTo(q, u)})
+		}
+		top := theap.NewTopK(k)
+		for _, e := range exact {
+			top.Push(e)
+		}
+		want := top.Items()
+		threshold := want[len(want)-1].Dist * 1.00001
+		hits := 0
+		for _, r := range res {
+			if r.Dist <= threshold {
+				hits++
+			}
+		}
+		recall += float64(hits) / float64(k)
+	}
+	recall /= trials
+	if recall < 0.7 {
+		t.Errorf("recall@%d = %.3f, want >= 0.7", k, recall)
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	// An NSW graph over one blob should be (nearly) one connected
+	// component when edges are followed in both directions; build is
+	// bidirectional so CSR already contains both directions (modulo
+	// shrink). BFS from node 0 should reach almost everything.
+	view := clusteredView(4, 800, 8, 1)
+	b := MustNew(DefaultConfig(8))
+	g := b.Build(view, 7)
+	seen := make([]bool, view.Len())
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(v) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if count < view.Len()*95/100 {
+		t.Errorf("BFS reached %d/%d nodes", count, view.Len())
+	}
+}
+
+var sink []theap.Neighbor
+
+func BenchmarkBuild2k(b *testing.B) {
+	view := clusteredView(5, 2000, 16, 8)
+	bl := MustNew(DefaultConfig(12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := bl.Build(view, int64(i))
+		if g.NumNodes() != 2000 {
+			b.Fatal("bad build")
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestFormatGolden pins the serialized bytes of a fixed small index. If
+// this fails you have changed the on-disk format: either revert the
+// accidental change, or — for a deliberate format change — bump the
+// format version constant, update the hash here, and note the migration
+// in the package comment. Everything feeding this hash is deterministic:
+// seeded math/rand, distance-sorted adjacency, IEEE float32 arithmetic.
+func TestFormatGolden(t *testing.T) {
+	ix := buildMBI(t, 45)
+	var buf bytes.Buffer
+	if err := SaveMBI(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	got := hex.EncodeToString(sum[:])
+	const want = "1e85c57c3793aa62869fece26c1fafbecb7b2b154ee7a58ebbc3a46ea955968a"
+	if got != want {
+		t.Fatalf("serialized format changed: sha256 = %s (was %s); see comment above", got, want)
+	}
+}

@@ -1,0 +1,384 @@
+// Package persist serializes indexes to a versioned little-endian binary
+// format. Besides durability (the satellite example saves and reloads its
+// index), serialization is how the experiments measure index size: the
+// "Index Sizes" of Table 4 and Figure 7b are the byte counts these
+// encoders produce, covering vectors, timestamps, and every block graph.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sf"
+	"repro/internal/vec"
+)
+
+// Format constants.
+const (
+	magic   = uint32(0x4d424958) // "MBIX"
+	version = uint32(1)
+
+	kindMBI = uint8(0)
+	kindSF  = uint8(1)
+)
+
+var order = binary.LittleEndian
+
+// SaveMBI writes ix to w. Outstanding asynchronous merges are flushed
+// first so the file is always quiescent (restorable).
+func SaveMBI(w io.Writer, ix *core.Index) error {
+	ix.Flush()
+	bw := bufio.NewWriter(w)
+	store := ix.Store()
+	times := ix.Times()
+	if err := writeHeader(bw, kindMBI, ix.Options().Metric, store.Dim(), len(times)); err != nil {
+		return err
+	}
+	if err := writeData(bw, store, times); err != nil {
+		return err
+	}
+	opts := ix.Options()
+	blocks := ix.Blocks()
+	forest := ix.Forest()
+	if err := writeInts(bw, uint64(opts.LeafSize), uint64(ix.OpenLo()), uint64(len(blocks)), uint64(len(forest))); err != nil {
+		return err
+	}
+	for _, root := range forest {
+		if err := writeInts(bw, uint64(root)); err != nil {
+			return err
+		}
+	}
+	for _, b := range blocks {
+		if err := writeInts(bw, uint64(b.Lo), uint64(b.Hi), uint64(b.Height)); err != nil {
+			return err
+		}
+		if err := writeGraph(bw, b.Graph); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadMBI reads an MBI index from r. opts supplies everything the format
+// does not carry (builder, τ, search defaults, workers, seed); its Dim,
+// Metric, and LeafSize must match the file.
+func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
+	br := bufio.NewReader(r)
+	metric, dim, n, err := readHeader(br, kindMBI)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Dim != dim {
+		return nil, fmt.Errorf("persist: file has dim %d, options say %d", dim, opts.Dim)
+	}
+	if opts.Metric != metric {
+		return nil, fmt.Errorf("persist: file has metric %v, options say %v", metric, opts.Metric)
+	}
+	store, times, err := readData(br, dim, n)
+	if err != nil {
+		return nil, err
+	}
+	var leafSize, openLo, numBlocks, numForest uint64
+	if err := readInts(br, &leafSize, &openLo, &numBlocks, &numForest); err != nil {
+		return nil, err
+	}
+	if opts.LeafSize != int(leafSize) {
+		return nil, fmt.Errorf("persist: file has leaf size %d, options say %d", leafSize, opts.LeafSize)
+	}
+	if numBlocks > uint64(n)+1 || numForest > numBlocks {
+		return nil, fmt.Errorf("persist: implausible block counts (%d blocks, %d roots, %d vectors)", numBlocks, numForest, n)
+	}
+	// Grown by append rather than count-sized make: the counts are
+	// untrusted (see readFloat32Slice).
+	forest := make([]int, 0, minInt(int(numForest), readChunk))
+	for i := uint64(0); i < numForest; i++ {
+		var v uint64
+		if err := readInts(br, &v); err != nil {
+			return nil, err
+		}
+		forest = append(forest, int(v))
+	}
+	blocks := make([]core.Block, 0, minInt(int(numBlocks), readChunk))
+	for i := uint64(0); i < numBlocks; i++ {
+		var lo, hi, height uint64
+		if err := readInts(br, &lo, &hi, &height); err != nil {
+			return nil, err
+		}
+		g, err := readGraph(br)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, core.Block{Lo: int(lo), Hi: int(hi), Height: int(height), Graph: g})
+	}
+	return core.Restore(opts, store, times, blocks, forest, int(openLo))
+}
+
+// SaveSF writes ix to w. The index must have a built graph.
+func SaveSF(w io.Writer, ix *sf.Index) error {
+	bw := bufio.NewWriter(w)
+	store := ix.Store()
+	times := ix.Times()
+	if err := writeHeader(bw, kindSF, ix.Metric(), store.Dim(), len(times)); err != nil {
+		return err
+	}
+	if err := writeData(bw, store, times); err != nil {
+		return err
+	}
+	if err := writeInts(bw, uint64(ix.Built())); err != nil {
+		return err
+	}
+	g := ix.Graph()
+	if g == nil {
+		g = &graph.CSR{Off: []int32{0}}
+	}
+	if err := writeGraph(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSF reads an SF index from r; builder is re-attached for future
+// rebuilds.
+func LoadSF(r io.Reader, builder graph.Builder) (*sf.Index, error) {
+	br := bufio.NewReader(r)
+	metric, dim, n, err := readHeader(br, kindSF)
+	if err != nil {
+		return nil, err
+	}
+	store, times, err := readData(br, dim, n)
+	if err != nil {
+		return nil, err
+	}
+	ix := sf.New(dim, metric, builder)
+	for i := 0; i < n; i++ {
+		if err := ix.Append(store.At(i), times[i]); err != nil {
+			return nil, err
+		}
+	}
+	var built uint64
+	if err := readInts(br, &built); err != nil {
+		return nil, err
+	}
+	g, err := readGraph(br)
+	if err != nil {
+		return nil, err
+	}
+	if built > 0 || g.NumNodes() > 0 {
+		if err := ix.Restore(g, int(built)); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// SizeMBI returns the serialized byte size of ix without materializing it.
+func SizeMBI(ix *core.Index) (int64, error) {
+	var c countingWriter
+	if err := SaveMBI(&c, ix); err != nil {
+		return 0, err
+	}
+	return c.n, nil
+}
+
+// SizeSF returns the serialized byte size of ix without materializing it.
+func SizeSF(ix *sf.Index) (int64, error) {
+	var c countingWriter
+	if err := SaveSF(&c, ix); err != nil {
+		return 0, err
+	}
+	return c.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func writeHeader(w io.Writer, kind uint8, metric vec.Metric, dim, n int) error {
+	if err := writeInts(w, uint64(magic), uint64(version)); err != nil {
+		return err
+	}
+	return binaryWrite(w, kind, uint8(metric), uint32(dim), uint64(n))
+}
+
+func readHeader(r io.Reader, wantKind uint8) (vec.Metric, int, int, error) {
+	var m, v uint64
+	if err := readInts(r, &m, &v); err != nil {
+		return 0, 0, 0, err
+	}
+	if uint32(m) != magic {
+		return 0, 0, 0, fmt.Errorf("persist: bad magic %#x", m)
+	}
+	if uint32(v) != version {
+		return 0, 0, 0, fmt.Errorf("persist: unsupported version %d", v)
+	}
+	var kind, metric uint8
+	var dim uint32
+	var n uint64
+	if err := binaryRead(r, &kind, &metric, &dim, &n); err != nil {
+		return 0, 0, 0, err
+	}
+	if kind != wantKind {
+		return 0, 0, 0, fmt.Errorf("persist: file holds index kind %d, want %d", kind, wantKind)
+	}
+	if !vec.Metric(metric).Valid() {
+		return 0, 0, 0, fmt.Errorf("persist: invalid metric %d", metric)
+	}
+	if dim == 0 || dim > 1<<20 {
+		return 0, 0, 0, fmt.Errorf("persist: implausible dimension %d", dim)
+	}
+	if n > 1<<40 {
+		return 0, 0, 0, fmt.Errorf("persist: implausible vector count %d", n)
+	}
+	return vec.Metric(metric), int(dim), int(n), nil
+}
+
+func writeData(w io.Writer, store *vec.Store, times []int64) error {
+	if err := binary.Write(w, order, times); err != nil {
+		return err
+	}
+	return binary.Write(w, order, store.Raw())
+}
+
+func readData(r io.Reader, dim, n int) (*vec.Store, []int64, error) {
+	times, err := readInt64Slice(r, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf, err := readFloat32Slice(r, n*dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := vec.FromRaw(dim, buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, times, nil
+}
+
+// Counts in a file are untrusted: a corrupt header must not trigger a
+// count-sized allocation. These readers grow their buffers in bounded
+// chunks, so a truncated or garbage file fails at the first missing byte
+// having allocated at most one chunk too many.
+const readChunk = 1 << 20 // elements per chunk
+
+func readFloat32Slice(r io.Reader, n int) ([]float32, error) {
+	out := make([]float32, 0, minInt(n, readChunk))
+	for len(out) < n {
+		c := minInt(n-len(out), readChunk)
+		chunk := make([]float32, c)
+		if err := binary.Read(r, order, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readInt64Slice(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, minInt(n, readChunk))
+	for len(out) < n {
+		c := minInt(n-len(out), readChunk)
+		chunk := make([]int64, c)
+		if err := binary.Read(r, order, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readInt32Slice(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, minInt(n, readChunk))
+	for len(out) < n {
+		c := minInt(n-len(out), readChunk)
+		chunk := make([]int32, c)
+		if err := binary.Read(r, order, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func writeGraph(w io.Writer, g *graph.CSR) error {
+	if err := writeInts(w, uint64(len(g.Off)), uint64(len(g.Adj))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, order, g.Off); err != nil {
+		return err
+	}
+	return binary.Write(w, order, g.Adj)
+}
+
+func readGraph(r io.Reader) (*graph.CSR, error) {
+	var nOff, nAdj uint64
+	if err := readInts(r, &nOff, &nAdj); err != nil {
+		return nil, err
+	}
+	if nOff > 1<<40 || nAdj > 1<<40 {
+		return nil, fmt.Errorf("persist: implausible graph sizes (%d offsets, %d edges)", nOff, nAdj)
+	}
+	off, err := readInt32Slice(r, int(nOff))
+	if err != nil {
+		return nil, err
+	}
+	adj, err := readInt32Slice(r, int(nAdj))
+	if err != nil {
+		return nil, err
+	}
+	g := &graph.CSR{Off: off, Adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return g, nil
+}
+
+func writeInts(w io.Writer, vs ...uint64) error {
+	for _, v := range vs {
+		if err := binary.Write(w, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInts(r io.Reader, vs ...*uint64) error {
+	for _, v := range vs {
+		if err := binary.Read(r, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func binaryWrite(w io.Writer, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Write(w, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func binaryRead(r io.Reader, vs ...any) error {
+	for _, v := range vs {
+		if err := binary.Read(r, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics tracks request counters and a search-latency histogram with
+// atomic counters only — no locks on the hot path, no dependencies.
+// The /metrics endpoint exposes them in the Prometheus text format so a
+// standard scraper can watch a tknnd deployment.
+type metrics struct {
+	inserts       atomic.Int64 // vectors successfully inserted
+	insertReqs    atomic.Int64 // /vectors requests
+	searches      atomic.Int64 // /search requests answered OK
+	clientErrors  atomic.Int64 // 4xx responses
+	searchLatency histogram
+	insertLatency histogram
+}
+
+// histogram is a fixed-bucket latency histogram. Bounds are cumulative
+// (le semantics) in microseconds.
+type histogram struct {
+	counts [len(latencyBounds) + 1]atomic.Int64
+	sumUs  atomic.Int64
+	total  atomic.Int64
+}
+
+// latencyBounds are the bucket upper bounds in microseconds, spanning the
+// sub-millisecond graph searches up to multi-second merge stalls.
+var latencyBounds = [...]int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000, 5000000}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	h.sumUs.Add(us)
+	h.total.Add(1)
+	for i, bound := range latencyBounds {
+		if us <= bound {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBounds)].Add(1)
+}
+
+// write emits the histogram in Prometheus exposition format.
+func (h *histogram) write(w http.ResponseWriter, name string) {
+	cumulative := int64(0)
+	for i, bound := range latencyBounds {
+		cumulative += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(bound)/1e6, cumulative)
+	}
+	cumulative += h.counts[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cumulative)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m := &s.metrics
+	fmt.Fprintf(w, "# HELP tknn_vectors_total Vectors currently indexed.\n")
+	fmt.Fprintf(w, "# TYPE tknn_vectors_total gauge\n")
+	fmt.Fprintf(w, "tknn_vectors_total %d\n", s.ix.Len())
+	fmt.Fprintf(w, "# HELP tknn_blocks_total Sealed MBI blocks.\n")
+	fmt.Fprintf(w, "# TYPE tknn_blocks_total gauge\n")
+	fmt.Fprintf(w, "tknn_blocks_total %d\n", s.ix.BlockCount())
+	fmt.Fprintf(w, "# HELP tknn_pending_build_vectors Vectors awaiting async block builds.\n")
+	fmt.Fprintf(w, "# TYPE tknn_pending_build_vectors gauge\n")
+	fmt.Fprintf(w, "tknn_pending_build_vectors %d\n", s.ix.PendingBuilds())
+	fmt.Fprintf(w, "# HELP tknn_inserts_total Vectors inserted since start.\n")
+	fmt.Fprintf(w, "# TYPE tknn_inserts_total counter\n")
+	fmt.Fprintf(w, "tknn_inserts_total %d\n", m.inserts.Load())
+	fmt.Fprintf(w, "# HELP tknn_insert_requests_total /vectors requests.\n")
+	fmt.Fprintf(w, "# TYPE tknn_insert_requests_total counter\n")
+	fmt.Fprintf(w, "tknn_insert_requests_total %d\n", m.insertReqs.Load())
+	fmt.Fprintf(w, "# HELP tknn_searches_total Successful searches.\n")
+	fmt.Fprintf(w, "# TYPE tknn_searches_total counter\n")
+	fmt.Fprintf(w, "tknn_searches_total %d\n", m.searches.Load())
+	fmt.Fprintf(w, "# HELP tknn_client_errors_total 4xx responses.\n")
+	fmt.Fprintf(w, "# TYPE tknn_client_errors_total counter\n")
+	fmt.Fprintf(w, "tknn_client_errors_total %d\n", m.clientErrors.Load())
+	fmt.Fprintf(w, "# HELP tknn_search_latency_seconds Search latency.\n")
+	fmt.Fprintf(w, "# TYPE tknn_search_latency_seconds histogram\n")
+	m.searchLatency.write(w, "tknn_search_latency_seconds")
+	fmt.Fprintf(w, "# HELP tknn_insert_latency_seconds Per-request insert latency.\n")
+	fmt.Fprintf(w, "# TYPE tknn_insert_latency_seconds histogram\n")
+	m.insertLatency.write(w, "tknn_insert_latency_seconds")
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Generate traffic: 10 inserts, 3 searches, 2 client errors.
+	for i := 0; i < 10; i++ {
+		tm := int64(i)
+		if resp, body := postJSON(t, ts.URL+"/vectors", AddRequest{Vector: []float32{float32(i), 0, 0, 0}, Time: &tm}); resp.StatusCode != 200 {
+			t.Fatalf("insert: %s", body)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, ts.URL+"/search", SearchRequest{Vector: []float32{1, 0, 0, 0}, K: 2, Start: 0, End: 100}); resp.StatusCode != 200 {
+			t.Fatalf("search: %s", body)
+		}
+	}
+	postJSON(t, ts.URL+"/search", SearchRequest{Vector: []float32{1}, K: 2, Start: 0, End: 100}) // bad dim
+	postJSON(t, ts.URL+"/vectors", AddRequest{})                                                 // empty
+
+	body := scrape(t, ts.URL)
+	if got := metricValue(t, body, "tknn_vectors_total"); got != 10 {
+		t.Errorf("vectors_total = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_inserts_total"); got != 10 {
+		t.Errorf("inserts_total = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_insert_requests_total"); got != 11 {
+		t.Errorf("insert_requests_total = %g, want 11 (10 ok + 1 rejected)", got)
+	}
+	if got := metricValue(t, body, "tknn_searches_total"); got != 3 {
+		t.Errorf("searches_total = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_client_errors_total"); got != 2 {
+		t.Errorf("client_errors_total = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_search_latency_seconds_count"); got != 3 {
+		t.Errorf("search latency count = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_insert_latency_seconds_count"); got != 10 {
+		t.Errorf("insert latency count = %g", got)
+	}
+	if got := metricValue(t, body, "tknn_pending_build_vectors"); got != 0 {
+		t.Errorf("pending builds = %g", got)
+	}
+}
+
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: %d", resp.StatusCode)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.observe(75 * time.Microsecond) // le 100
+	h.observe(75 * time.Microsecond) // le 100
+	h.observe(3 * time.Millisecond)  // le 5000
+	h.observe(10 * time.Second)      // +Inf overflow
+	if got := h.total.Load(); got != 4 {
+		t.Fatalf("total %d", got)
+	}
+	if got := h.counts[1].Load(); got != 2 { // bucket le=100us
+		t.Errorf("100us bucket = %d", got)
+	}
+	if got := h.counts[len(latencyBounds)].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d", got)
+	}
+	wantSum := int64(75+75+3000) + 10*1000*1000
+	if got := h.sumUs.Load(); got != wantSum {
+		t.Errorf("sum %d, want %d", got, wantSum)
+	}
+}

@@ -1,0 +1,238 @@
+// Package server implements the HTTP API of the tknnd daemon: a small
+// JSON service exposing one MBI index for ingestion and time-restricted
+// kNN search. It exists to give downstream users a network-facing
+// deployment surface and to demonstrate the library under concurrent
+// load; cmd/tknnd wires it to flags.
+//
+// Endpoints:
+//
+//	POST /vectors   {"vector": [...], "time": 123}          -> {"id": 0}
+//	POST /vectors   {"batch": [{"vector": ..., "time": ...}, ...]}
+//	POST /search    {"vector": [...], "k": 10,
+//	                 "start": 0, "end": 1000}               -> {"results": [...]}
+//	GET  /stats                                             -> index shape
+//	GET  /healthz                                           -> 200 ok
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	tknn "repro"
+)
+
+// Server handles the HTTP API around one MBI index.
+type Server struct {
+	ix *tknn.MBI
+	// addMu serializes ingestion: tknn.MBI.Add is single-writer.
+	addMu   sync.Mutex
+	mux     *http.ServeMux
+	metrics metrics
+}
+
+// New wraps an index in a Server.
+func New(ix *tknn.MBI) *Server {
+	s := &Server{ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/vectors", s.handleVectors)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// AddRequest is the /vectors request body: either a single timestamped
+// vector or a batch.
+type AddRequest struct {
+	Vector []float32  `json:"vector,omitempty"`
+	Time   *int64     `json:"time,omitempty"`
+	Batch  []AddEntry `json:"batch,omitempty"`
+}
+
+// AddEntry is one element of a batch insert.
+type AddEntry struct {
+	Vector []float32 `json:"vector"`
+	Time   int64     `json:"time"`
+}
+
+// AddResponse reports the ids assigned to the inserted vectors.
+type AddResponse struct {
+	ID    int   `json:"id,omitempty"`
+	IDs   []int `json:"ids,omitempty"`
+	Count int   `json:"count"`
+}
+
+func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
+	s.metrics.insertReqs.Add(1)
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req AddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	switch {
+	case len(req.Batch) > 0 && req.Vector != nil:
+		s.error(w, http.StatusBadRequest, errors.New("provide either vector or batch, not both"))
+	case len(req.Batch) > 0:
+		s.addBatch(w, req.Batch)
+	case req.Vector != nil:
+		if req.Time == nil {
+			s.error(w, http.StatusBadRequest, errors.New("missing time"))
+			return
+		}
+		s.addBatch(w, []AddEntry{{Vector: req.Vector, Time: *req.Time}})
+	default:
+		s.error(w, http.StatusBadRequest, errors.New("empty request"))
+	}
+}
+
+func (s *Server) addBatch(w http.ResponseWriter, batch []AddEntry) {
+	start := time.Now()
+	s.addMu.Lock()
+	defer func() {
+		s.addMu.Unlock()
+		s.metrics.insertLatency.observe(time.Since(start))
+	}()
+	ids := make([]int, 0, len(batch))
+	for i, e := range batch {
+		id := s.ix.Len()
+		if err := s.ix.Add(e.Vector, e.Time); err != nil {
+			// Report how far we got: earlier entries are committed
+			// (appends are not transactional).
+			s.metrics.inserts.Add(int64(len(ids)))
+			s.error(w, statusFor(err), fmt.Errorf("entry %d (after %d inserted): %w", i, len(ids), err))
+			return
+		}
+		ids = append(ids, id)
+	}
+	s.metrics.inserts.Add(int64(len(ids)))
+	resp := AddResponse{IDs: ids, Count: len(ids)}
+	if len(ids) == 1 {
+		resp = AddResponse{ID: ids[0], Count: 1}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SearchRequest is the /search request body.
+type SearchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+	Start  int64     `json:"start"`
+	End    int64     `json:"end"`
+}
+
+// SearchResult is one neighbor in a SearchResponse.
+type SearchResult struct {
+	ID   int     `json:"id"`
+	Time int64   `json:"time"`
+	Dist float32 `json:"dist"`
+}
+
+// SearchResponse is the /search response body.
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	start := time.Now()
+	res, err := s.ix.Search(tknn.Query{Vector: req.Vector, K: req.K, Start: req.Start, End: req.End})
+	if err != nil {
+		s.error(w, statusFor(err), err)
+		return
+	}
+	s.metrics.searchLatency.observe(time.Since(start))
+	s.metrics.searches.Add(1)
+	out := SearchResponse{Results: make([]SearchResult, len(res))}
+	for i, n := range res {
+		out.Results[i] = SearchResult{ID: n.ID, Time: n.Time, Dist: n.Dist}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	Vectors    int    `json:"vectors"`
+	Blocks     int    `json:"blocks"`
+	TreeHeight int    `json:"treeHeight"`
+	Dim        int    `json:"dim"`
+	Metric     string `json:"metric"`
+	LeafSize   int    `json:"leafSize"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	o := s.ix.Options()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Vectors:    s.ix.Len(),
+		Blocks:     s.ix.BlockCount(),
+		TreeHeight: s.ix.TreeHeight(),
+		Dim:        o.Dim,
+		Metric:     o.Metric.String(),
+		LeafSize:   o.LeafSize,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// error is httpError plus client-error accounting.
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	if status >= 400 && status < 500 {
+		s.metrics.clientErrors.Add(1)
+	}
+	httpError(w, status, err)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, tknn.ErrBadQuery),
+		errors.Is(err, tknn.ErrDimension),
+		errors.Is(err, tknn.ErrTimestampOrder):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header write can only be logged; the
+	// status line is already on the wire.
+	_ = json.NewEncoder(w).Encode(v)
+}

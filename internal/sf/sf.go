@@ -1,0 +1,150 @@
+// Package sf implements the paper's second baseline, Search and Filtering
+// (§3.2.2): one proximity graph over the whole database, traversed with
+// Algorithm 2, filtering results to the query's time window and continuing
+// until k in-window vectors are found. SF is strong for long windows (it
+// degenerates to plain graph kNN) and weak for short ones, where almost
+// every visited vector is filtered out.
+package sf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Index is a whole-database proximity graph with time-filtered search.
+//
+// Append is single-writer. BuildGraph (re)indexes everything appended so
+// far; vectors appended after the last BuildGraph are covered by a
+// brute-force tail scan so that results stay complete between rebuilds.
+// Search is safe for concurrent use once a graph is built.
+type Index struct {
+	store   *vec.Store
+	times   []int64
+	metric  vec.Metric
+	builder graph.Builder
+
+	g     *graph.CSR
+	built int // vectors covered by g
+
+	searchers sync.Pool
+}
+
+// New returns an empty SF index. builder constructs the proximity graph
+// (NNDescent in the paper's setup).
+func New(dim int, metric vec.Metric, builder graph.Builder) *Index {
+	ix := &Index{store: vec.NewStore(dim), metric: metric, builder: builder}
+	ix.searchers.New = func() any { return graph.NewSearcher(0) }
+	return ix
+}
+
+// Len returns the number of appended vectors.
+func (ix *Index) Len() int { return ix.store.Len() }
+
+// Built returns how many vectors the current graph covers.
+func (ix *Index) Built() int { return ix.built }
+
+// Metric returns the index's distance metric.
+func (ix *Index) Metric() vec.Metric { return ix.metric }
+
+// Graph exposes the current proximity graph (nil before the first
+// BuildGraph); used by the persistence layer and tests.
+func (ix *Index) Graph() *graph.CSR { return ix.g }
+
+// Store exposes the backing vector store for persistence.
+func (ix *Index) Store() *vec.Store { return ix.store }
+
+// Times exposes the timestamp slice for persistence. Read-only.
+func (ix *Index) Times() []int64 { return ix.times }
+
+// Append adds a timestamped vector without touching the graph. The
+// timestamp must be >= the last appended timestamp.
+func (ix *Index) Append(v []float32, t int64) error {
+	if n := len(ix.times); n > 0 && t < ix.times[n-1] {
+		return fmt.Errorf("sf: timestamp %d precedes last timestamp %d", t, ix.times[n-1])
+	}
+	if _, err := ix.store.Append(v); err != nil {
+		return err
+	}
+	ix.times = append(ix.times, t)
+	return nil
+}
+
+// BuildGraph (re)builds the proximity graph over all appended vectors.
+// seed drives the builder's randomization for reproducibility.
+func (ix *Index) BuildGraph(seed int64) {
+	n := ix.store.Len()
+	view := vec.View{Store: ix.store, Lo: 0, Hi: n, Metric: ix.metric}
+	ix.g = ix.builder.Build(view, seed)
+	ix.built = n
+}
+
+// Restore installs a previously serialized graph covering built vectors.
+func (ix *Index) Restore(g *graph.CSR, built int) error {
+	if built > ix.store.Len() {
+		return fmt.Errorf("sf: restored graph covers %d vectors but store has %d", built, ix.store.Len())
+	}
+	if g.NumNodes() != built {
+		return fmt.Errorf("sf: restored graph has %d nodes, want %d", g.NumNodes(), built)
+	}
+	ix.g = g
+	ix.built = built
+	return nil
+}
+
+// Search returns approximately the k nearest neighbors to q among vectors
+// with timestamps in [ts, te), ordered by ascending distance, with global
+// insertion indices as IDs. p tunes the Algorithm 2 traversal; rng picks
+// the random entry vertex (line 1) and must not be shared across
+// goroutines.
+func (ix *Index) Search(q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	var fromGraph []theap.Neighbor
+	if ix.g != nil && ix.built > 0 {
+		view := vec.View{Store: ix.store, Lo: 0, Hi: ix.built, Metric: ix.metric}
+		filter := func(local int32) bool {
+			t := ix.times[local]
+			return t >= ts && t < te
+		}
+		s := ix.searchers.Get().(*graph.Searcher)
+		fromGraph = s.Search(ix.g, view, q, k, filter, p, graph.RandomEntry(rng, ix.built))
+		ix.searchers.Put(s)
+	}
+	// Tail scan over vectors the graph does not cover yet.
+	tailLo, tailHi := ix.built, ix.store.Len()
+	var fromTail []theap.Neighbor
+	if tailLo < tailHi {
+		lo, hi := windowWithin(ix.times, tailLo, tailHi, ts, te)
+		if lo < hi {
+			fromTail = scanGlobal(ix.store, ix.metric, q, k, lo, hi)
+		}
+	}
+	if fromTail == nil {
+		return fromGraph
+	}
+	return theap.Merge(k, fromGraph, fromTail)
+}
+
+// windowWithin narrows [lo, hi) to timestamps in [ts, te) assuming times is
+// sorted ascending.
+func windowWithin(times []int64, lo, hi int, ts, te int64) (int, int) {
+	for lo < hi && times[lo] < ts {
+		lo++
+	}
+	for hi > lo && times[hi-1] >= te {
+		hi--
+	}
+	return lo, hi
+}
+
+// scanGlobal brute-forces rows [lo, hi) returning global ids.
+func scanGlobal(store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
+	top := theap.NewTopK(k)
+	for i := lo; i < hi; i++ {
+		top.Push(theap.Neighbor{ID: int32(i), Dist: vec.Distance(metric, q, store.At(i))})
+	}
+	return top.Items()
+}

@@ -1,0 +1,328 @@
+// Package theap implements the two priority queues every search path in
+// this repository needs:
+//
+//   - TopK, a bounded max-heap that retains the k nearest (id, distance)
+//     pairs seen so far. It backs the brute-force scan of BSBF
+//     (Algorithm 1), the result set R of the graph search (Algorithm 2),
+//     and the cross-block merge of MBI queries (Algorithm 4 line 9).
+//   - MinQueue, an unbounded min-heap used as the candidate frontier C of
+//     the graph search.
+//
+// Both are hand-specialized for Neighbor values instead of going through
+// container/heap: the interface indirection costs ~2x on these hot paths.
+package theap
+
+// Neighbor is one candidate search result: a vector id and its distance to
+// the query. IDs are local to whatever view the search runs over; callers
+// translate to global ids when merging across blocks.
+type Neighbor struct {
+	ID   int32
+	Dist float32
+}
+
+// Less orders neighbors by distance, breaking ties by id so that results
+// are deterministic across runs and implementations.
+func Less(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// TopK keeps the k smallest-distance neighbors pushed into it.
+// The zero value is unusable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on (Dist, ID): heap[0] is the current worst
+}
+
+// NewTopK returns a collector for the k nearest neighbors.
+// It panics if k <= 0.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("theap: TopK needs k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// K returns the capacity of the collector.
+func (t *TopK) K() int { return t.k }
+
+// Len returns how many neighbors are currently retained (≤ k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbors have been retained.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Worst returns the largest retained distance. It must only be called when
+// Len() > 0.
+func (t *TopK) Worst() float32 { return t.heap[0].Dist }
+
+// WorstNeighbor returns the retained neighbor with the largest distance.
+// It must only be called when Len() > 0.
+func (t *TopK) WorstNeighbor() Neighbor { return t.heap[0] }
+
+// Push offers a neighbor. It returns true if the neighbor was retained
+// (i.e. the collector was not full, or n beats the current worst).
+func (t *TopK) Push(n Neighbor) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, n)
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if !Less(n, t.heap[0]) {
+		return false
+	}
+	t.heap[0] = n
+	t.siftDown(0)
+	return true
+}
+
+// Reset empties the collector, retaining its backing storage.
+func (t *TopK) Reset() { t.heap = t.heap[:0] }
+
+// Items returns the retained neighbors sorted by ascending distance.
+// The collector is consumed: it is empty afterwards.
+func (t *TopK) Items() []Neighbor {
+	out := t.heap
+	// Repeatedly swap the max to the end and shrink: heap-sort descending
+	// by max-heap yields ascending order in place.
+	for n := len(out) - 1; n > 0; n-- {
+		out[0], out[n] = out[n], out[0]
+		t.heap = out[:n]
+		t.siftDown(0)
+	}
+	t.heap = out[:0]
+	return out
+}
+
+// Snapshot returns a copy of the retained neighbors sorted by ascending
+// distance, leaving the collector intact.
+func (t *TopK) Snapshot() []Neighbor {
+	cp := make([]Neighbor, len(t.heap))
+	copy(cp, t.heap)
+	sortNeighbors(cp)
+	return cp
+}
+
+func (t *TopK) siftUp(i int) {
+	h := t.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !Less(h[p], h[i]) { // parent >= child: heap property holds
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	h := t.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && Less(h[l], h[r]) {
+			big = r
+		}
+		if !Less(h[i], h[big]) {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// MinQueue is a min-heap of neighbors ordered by ascending distance.
+// The zero value is ready to use.
+type MinQueue struct {
+	heap []Neighbor
+}
+
+// Len returns the number of queued neighbors.
+func (q *MinQueue) Len() int { return len(q.heap) }
+
+// Push enqueues n.
+func (q *MinQueue) Push(n Neighbor) {
+	q.heap = append(q.heap, n)
+	h := q.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !Less(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// Pop removes and returns the nearest queued neighbor.
+// It must only be called when Len() > 0.
+func (q *MinQueue) Pop() Neighbor {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	q.heap = h[:n]
+	q.siftDown(0)
+	return top
+}
+
+// Min returns the nearest queued neighbor without removing it.
+// It must only be called when Len() > 0.
+func (q *MinQueue) Min() Neighbor { return q.heap[0] }
+
+// Reset empties the queue, retaining its backing storage.
+func (q *MinQueue) Reset() { q.heap = q.heap[:0] }
+
+// TrimTo retains only the m nearest queued neighbors, discarding the rest.
+// This implements line 17 of Algorithm 2 ("update C to retain M_C nearest").
+func (q *MinQueue) TrimTo(m int) {
+	if len(q.heap) <= m {
+		return
+	}
+	sortNeighbors(q.heap)
+	q.heap = q.heap[:m]
+	// A sorted prefix is already a valid min-heap.
+}
+
+func (q *MinQueue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && Less(h[r], h[l]) {
+			small = r
+		}
+		if !Less(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// sortNeighbors sorts by ascending (Dist, ID) with insertion sort for short
+// slices and a simple quicksort otherwise. The slices here are small
+// (bounded by M_C or k), so this beats the reflection cost of sort.Slice.
+func sortNeighbors(a []Neighbor) {
+	if len(a) < 24 {
+		insertionSort(a)
+		return
+	}
+	quickSort(a, 0)
+}
+
+func insertionSort(a []Neighbor) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && Less(x, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+func quickSort(a []Neighbor, depth int) {
+	for len(a) >= 24 {
+		if depth > 40 {
+			heapSortAll(a)
+			return
+		}
+		depth++
+		p := partition(a)
+		if p < len(a)-p {
+			quickSort(a[:p], depth)
+			a = a[p+1:]
+		} else {
+			quickSort(a[p+1:], depth)
+			a = a[:p]
+		}
+	}
+	insertionSort(a)
+}
+
+func partition(a []Neighbor) int {
+	// Median-of-three pivot to avoid quadratic behavior on sorted input.
+	m := len(a) / 2
+	hi := len(a) - 1
+	if Less(a[m], a[0]) {
+		a[m], a[0] = a[0], a[m]
+	}
+	if Less(a[hi], a[0]) {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if Less(a[hi], a[m]) {
+		a[hi], a[m] = a[m], a[hi]
+	}
+	a[m], a[hi-1] = a[hi-1], a[m]
+	pivot := a[hi-1]
+	i := 0
+	for j := 0; j < hi-1; j++ {
+		if Less(a[j], pivot) {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+func heapSortAll(a []Neighbor) {
+	// Build a max-heap then repeatedly extract; fallback for pathological
+	// quicksort inputs.
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownRange(a, i, len(a))
+	}
+	for n := len(a) - 1; n > 0; n-- {
+		a[0], a[n] = a[n], a[0]
+		siftDownRange(a, 0, n)
+	}
+}
+
+func siftDownRange(a []Neighbor, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && Less(a[l], a[r]) {
+			big = r
+		}
+		if !Less(a[i], a[big]) {
+			return
+		}
+		a[i], a[big] = a[big], a[i]
+		i = big
+	}
+}
+
+// Merge combines several ascending-sorted neighbor lists into the k nearest
+// overall, deduplicating by ID. It is the final combine step of an MBI
+// query (each block contributes a sorted list over global ids).
+func Merge(k int, lists ...[]Neighbor) []Neighbor {
+	t := NewTopK(k)
+	seen := make(map[int32]struct{})
+	for _, l := range lists {
+		for _, n := range l {
+			if _, dup := seen[n.ID]; dup {
+				continue
+			}
+			seen[n.ID] = struct{}{}
+			t.Push(n)
+		}
+	}
+	return t.Items()
+}

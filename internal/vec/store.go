@@ -1,0 +1,111 @@
+package vec
+
+import "fmt"
+
+// Store holds vectors of a fixed dimension back-to-back in one []float32.
+// Index i's coordinates live at data[i*dim : (i+1)*dim].
+//
+// A Store is append-only: vectors are never mutated or removed once added,
+// which is what lets MBI blocks reference ranges of the store instead of
+// copying. Append is not safe for concurrent use; reads of already-appended
+// vectors are safe concurrently with a single appender as long as readers
+// obtained their length bound before the append (the MBI index enforces
+// this with its own lock).
+type Store struct {
+	dim  int
+	data []float32
+}
+
+// NewStore returns an empty store for dim-dimensional vectors.
+// It panics if dim <= 0: a zero-dimensional store is always a caller bug.
+func NewStore(dim int) *Store {
+	if dim <= 0 {
+		panic(fmt.Sprintf("vec: non-positive dimension %d", dim))
+	}
+	return &Store{dim: dim}
+}
+
+// NewStoreCap is NewStore with capacity pre-allocated for n vectors.
+func NewStoreCap(dim, n int) *Store {
+	s := NewStore(dim)
+	s.data = make([]float32, 0, dim*n)
+	return s
+}
+
+// Dim returns the vector dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of vectors currently stored.
+func (s *Store) Len() int { return len(s.data) / s.dim }
+
+// Append adds a copy of v and returns its index.
+// It returns an error if len(v) does not match the store dimension.
+func (s *Store) Append(v []float32) (int, error) {
+	if len(v) != s.dim {
+		return 0, fmt.Errorf("vec: appending %d-dim vector to %d-dim store", len(v), s.dim)
+	}
+	id := s.Len()
+	s.data = append(s.data, v...)
+	return id, nil
+}
+
+// At returns the vector at index i as a slice aliasing the store's memory.
+// Callers must not modify the returned slice.
+func (s *Store) At(i int) []float32 {
+	off := i * s.dim
+	return s.data[off : off+s.dim : off+s.dim]
+}
+
+// Raw exposes the underlying flat buffer, e.g. for serialization.
+// Callers must not modify it.
+func (s *Store) Raw() []float32 { return s.data }
+
+// Snapshot returns a read-only view of the store's current contents that
+// stays valid while the original keeps growing: the returned store shares
+// the backing array but has a fixed length, and appends to the original
+// either write past that length or reallocate — either way they never
+// touch the snapshot's [0, Len) range. Used by MBI's asynchronous merge
+// worker to build block graphs without holding the index lock.
+func (s *Store) Snapshot() *Store {
+	return &Store{dim: s.dim, data: s.data[:len(s.data):len(s.data)]}
+}
+
+// FromRaw constructs a store that adopts buf as its backing memory.
+// len(buf) must be a multiple of dim.
+func FromRaw(dim int, buf []float32) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vec: non-positive dimension %d", dim)
+	}
+	if len(buf)%dim != 0 {
+		return nil, fmt.Errorf("vec: buffer length %d is not a multiple of dim %d", len(buf), dim)
+	}
+	return &Store{dim: dim, data: buf}, nil
+}
+
+// View is a read-only window over the contiguous range [Lo, Hi) of a store,
+// with local indices 0..Len()-1 mapping to global indices Lo..Hi-1.
+// MBI blocks, the BSBF baseline, and the graph builders all operate on
+// Views so they are agnostic to where in the timeline their data sits.
+type View struct {
+	Store  *Store
+	Lo, Hi int
+	Metric Metric
+}
+
+// Len returns the number of vectors in the view.
+func (v View) Len() int { return v.Hi - v.Lo }
+
+// At returns the vector at local index i.
+func (v View) At(i int) []float32 { return v.Store.At(v.Lo + i) }
+
+// Dist returns the metric distance between the vectors at local indices i
+// and j.
+func (v View) Dist(i, j int) float32 {
+	return Distance(v.Metric, v.Store.At(v.Lo+i), v.Store.At(v.Lo+j))
+}
+
+// DistTo returns the metric distance between query q and the vector at
+// local index i.
+func (v View) DistTo(q []float32, i int) float32 {
+	return Distance(v.Metric, q, v.Store.At(v.Lo+i))
+}

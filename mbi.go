@@ -1,0 +1,353 @@
+package tknn
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nndescent"
+	"repro/internal/nsw"
+	"repro/internal/persist"
+	"repro/internal/theap"
+)
+
+// GraphAlgorithm selects the per-block proximity-graph construction
+// algorithm. The paper uses NNDescent; NSW is provided because MBI treats
+// the graph index as a pluggable module (§4.1).
+type GraphAlgorithm int
+
+const (
+	// NNDescent builds each block's graph with the NNDescent local-join
+	// algorithm (the paper's choice).
+	NNDescent GraphAlgorithm = iota
+	// NSW builds each block's graph by incremental Navigable-Small-World
+	// insertion.
+	NSW
+)
+
+// String returns the algorithm's name.
+func (a GraphAlgorithm) String() string {
+	if a == NSW {
+		return "nsw"
+	}
+	return "nndescent"
+}
+
+// MBIOptions configures an MBI index. Zero values get sensible defaults
+// from ApplyDefaults; only Dim is mandatory.
+type MBIOptions struct {
+	// Dim is the vector dimension. Required.
+	Dim int
+	// Metric is the distance function. Default Euclidean.
+	Metric Metric
+	// LeafSize is S_L, the number of vectors per leaf block. New data
+	// is brute-force scanned until a leaf fills, so the leaf size bounds
+	// the unindexed tail. Default 1024.
+	LeafSize int
+	// Tau is the block-selection threshold τ ∈ (0, 1]. At most two blocks
+	// are searched per query when Tau <= 0.5. Default 0.5, the paper's
+	// recommendation when no tuning data is available.
+	Tau float64
+	// Graph selects the per-block graph construction algorithm.
+	Graph GraphAlgorithm
+	// GraphDegree is the neighbor count of each block graph (NNDescent K
+	// or NSW M). Default 24.
+	GraphDegree int
+	// MaxCandidates is the search-time candidate cap M_C. Default
+	// 2*GraphDegree.
+	MaxCandidates int
+	// Epsilon is the default search range-extension factor ε >= 1.
+	// Default 1.1. Larger values raise recall and lower throughput.
+	Epsilon float64
+	// Workers bounds the goroutines used to build block graphs during a
+	// merge cascade. Default 1 (sequential).
+	Workers int
+	// AsyncMerge builds block graphs on a background worker so Add never
+	// blocks on graph construction; vectors whose blocks are still
+	// building are answered exactly by brute force. Call Flush to wait
+	// for the builder and Close when done with the index.
+	AsyncMerge bool
+	// Seed makes index construction reproducible. Default 1.
+	Seed int64
+}
+
+// ApplyDefaults fills unset fields with their defaults and validates the
+// result.
+func (o *MBIOptions) ApplyDefaults() error {
+	if o.Dim <= 0 {
+		return fmt.Errorf("tknn: MBIOptions.Dim must be positive, got %d", o.Dim)
+	}
+	if !o.Metric.valid() {
+		return fmt.Errorf("tknn: invalid metric %d", o.Metric)
+	}
+	if o.LeafSize == 0 {
+		o.LeafSize = 1024
+	}
+	if o.Tau == 0 {
+		o.Tau = 0.5
+	}
+	if o.GraphDegree == 0 {
+		o.GraphDegree = 24
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 2 * o.GraphDegree
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1.1
+	}
+	if o.Epsilon < 1 {
+		return fmt.Errorf("tknn: Epsilon must be >= 1, got %g", o.Epsilon)
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+func (o MBIOptions) builder() (graph.Builder, error) {
+	switch o.Graph {
+	case NNDescent:
+		return nndescent.New(nndescent.DefaultConfig(o.GraphDegree))
+	case NSW:
+		return nsw.New(nsw.DefaultConfig(o.GraphDegree))
+	default:
+		return nil, fmt.Errorf("tknn: unknown graph algorithm %d", o.Graph)
+	}
+}
+
+func (o MBIOptions) coreOptions() (core.Options, error) {
+	b, err := o.builder()
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Dim:        o.Dim,
+		Metric:     o.Metric.internal(),
+		LeafSize:   o.LeafSize,
+		Tau:        o.Tau,
+		Builder:    b,
+		Search:     graph.SearchParams{MC: o.MaxCandidates, Eps: float32(o.Epsilon)},
+		Workers:    o.Workers,
+		AsyncMerge: o.AsyncMerge,
+		Seed:       o.Seed,
+	}, nil
+}
+
+// MBI is the paper's Multi-level Block Index. It satisfies Index.
+type MBI struct {
+	opts  MBIOptions
+	inner *core.Index
+
+	// tauTable, when non-nil, makes Search pick τ per query from the
+	// tuned table (see AutoTuneTau). Written once by AutoTuneTau; reads
+	// race-free thereafter because AutoTuneTau must not run concurrently
+	// with Search.
+	tauTable *core.TauTable
+}
+
+// NewMBI creates an empty MBI index. opts is copied; unset fields default
+// per MBIOptions.
+func NewMBI(opts MBIOptions) (*MBI, error) {
+	if err := opts.ApplyDefaults(); err != nil {
+		return nil, err
+	}
+	co, err := opts.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(co)
+	if err != nil {
+		return nil, err
+	}
+	return &MBI{opts: opts, inner: inner}, nil
+}
+
+// Options returns the effective (defaulted) options.
+func (m *MBI) Options() MBIOptions { return m.opts }
+
+// Add implements Index. When an Add fills a leaf block, it additionally
+// builds the graph indexes for the leaf and any newly completed ancestor
+// blocks before returning, so individual Add calls occasionally take much
+// longer than the average — the amortized cost is O(n^0.14 log n) per
+// vector (§4.4.2).
+func (m *MBI) Add(v []float32, t int64) error {
+	if len(v) != m.opts.Dim {
+		return fmt.Errorf("%w: got %d, index has %d", ErrDimension, len(v), m.opts.Dim)
+	}
+	if err := m.inner.Append(v, t); err != nil {
+		return fmt.Errorf("%w: %v", ErrTimestampOrder, err)
+	}
+	return nil
+}
+
+// Search implements Index. After AutoTuneTau, the block-selection
+// threshold is chosen per query from the tuned table; otherwise
+// Options.Tau applies.
+func (m *MBI) Search(q Query) ([]Result, error) {
+	if err := validateQuery(q, m.opts.Dim); err != nil {
+		return nil, err
+	}
+	var ns []theap.Neighbor
+	if m.tauTable != nil {
+		ns = m.inner.SearchAutoTauDefault(q.Vector, q.K, q.Start, q.End, m.tauTable)
+	} else {
+		ns = m.inner.Search(q.Vector, q.K, q.Start, q.End)
+	}
+	return toResults(ns, m.inner.Times()), nil
+}
+
+// SearchBatch answers many queries, fanning them across workers
+// goroutines (0 or 1 means sequential). Results[i] answers queries[i];
+// the first query error aborts the batch. Concurrent searches are safe —
+// this is plain fan-out over Search.
+func (m *MBI) SearchBatch(queries []Query, workers int) ([][]Result, error) {
+	out := make([][]Result, len(queries))
+	if workers <= 1 || len(queries) <= 1 {
+		for i, q := range queries {
+			res, err := m.Search(q)
+			if err != nil {
+				return nil, fmt.Errorf("query %d: %w", i, err)
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(queries) {
+					return
+				}
+				mu.Lock()
+				failed := err != nil
+				mu.Unlock()
+				if failed {
+					return
+				}
+				res, qerr := m.Search(queries[i])
+				if qerr != nil {
+					mu.Lock()
+					if err == nil {
+						err = fmt.Errorf("query %d: %w", i, qerr)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AutoTuneTau implements the paper's §5.4.2 suggestion: it measures which
+// block-selection threshold τ answers queries fastest for a ladder of
+// window sizes on this index's own data, then makes every subsequent
+// Search pick τ from the resulting table based on the query window's
+// coverage. samplesPerBucket controls tuning effort (0 uses a default of
+// 30 sampled queries per window-size bucket). AutoTuneTau must not run
+// concurrently with Search or Add; tuning issues real queries, so expect
+// it to take roughly the time of a few hundred searches.
+func (m *MBI) AutoTuneTau(samplesPerBucket int) error {
+	table, err := m.inner.TuneTau(core.TunerConfig{QueriesPerBucket: samplesPerBucket, Seed: m.opts.Seed})
+	if err != nil {
+		return err
+	}
+	m.tauTable = table
+	return nil
+}
+
+// TunedTaus reports the per-window-fraction thresholds AutoTuneTau chose
+// (nil before tuning): TunedTaus()[i] applies to windows covering up to
+// TunedFractions()[i] of the data.
+func (m *MBI) TunedTaus() []float64 {
+	if m.tauTable == nil {
+		return nil
+	}
+	return append([]float64(nil), m.tauTable.Taus...)
+}
+
+// TunedFractions reports the bucket bounds of the tuned table (nil before
+// tuning).
+func (m *MBI) TunedFractions() []float64 {
+	if m.tauTable == nil {
+		return nil
+	}
+	return append([]float64(nil), m.tauTable.Fractions...)
+}
+
+// Len implements Index.
+func (m *MBI) Len() int { return m.inner.Len() }
+
+// BlockCount returns the number of sealed blocks (each carrying a graph).
+func (m *MBI) BlockCount() int { return m.inner.Stats().NumBlocks }
+
+// TreeHeight returns the height of the tallest complete subtree.
+func (m *MBI) TreeHeight() int { return m.inner.Stats().TreeHeight }
+
+// Flush waits until every block build queued by AsyncMerge has
+// installed. A no-op without AsyncMerge.
+func (m *MBI) Flush() { m.inner.Flush() }
+
+// Close flushes outstanding asynchronous builds and stops the background
+// worker; further Adds fail, searches keep working. A no-op without
+// AsyncMerge. Close is idempotent.
+func (m *MBI) Close() error { return m.inner.Close() }
+
+// PendingBuilds reports how many vectors are sealed but not yet covered
+// by built blocks (always 0 without AsyncMerge).
+func (m *MBI) PendingBuilds() int { return m.inner.PendingBuilds() }
+
+// Explain reports which blocks a query window would search, without
+// searching — block ranges, heights, overlap ratios, and in-window
+// counts, like an EXPLAIN plan.
+func (m *MBI) Explain(start, end int64) core.Plan { return m.inner.Explain(start, end) }
+
+// Save serializes the index to w; LoadMBI restores it. Save must not run
+// concurrently with Add (it shares Add's single-writer role); it flushes
+// asynchronous builds first so the file is always complete.
+func (m *MBI) Save(w io.Writer) error { return persist.SaveMBI(w, m.inner) }
+
+// LoadMBI restores an index saved with Save. opts must carry the same
+// Dim, Metric, and LeafSize the saved index had; graph construction
+// settings may differ (they only affect future inserts).
+func LoadMBI(r io.Reader, opts MBIOptions) (*MBI, error) {
+	if err := opts.ApplyDefaults(); err != nil {
+		return nil, err
+	}
+	co, err := opts.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := persist.LoadMBI(r, co)
+	if err != nil {
+		return nil, err
+	}
+	return &MBI{opts: opts, inner: inner}, nil
+}
+
+// Internal exposes the underlying core index for the experiment harness.
+// Not part of the stable API.
+func (m *MBI) Internal() *core.Index { return m.inner }
