@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the full CI gate; the individual
+# targets mirror the named steps in .github/workflows/ci.yml.
+
+GO ?= go
+
+# Packages whose concurrency claims are exercised under the race detector.
+# stress_race_test.go in internal/core is gated on the `race` build tag,
+# so it runs here and nowhere else.
+RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/
+
+.PHONY: check fmt vet build test race lint
+
+check: fmt vet build test race lint
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+lint:
+	$(GO) run ./cmd/tknnlint ./...

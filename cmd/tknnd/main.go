@@ -68,7 +68,7 @@ func main() {
 			log.Fatalf("opening %s: %v", *load, ferr)
 		}
 		ix, err = tknn.LoadMBI(f, opts)
-		f.Close()
+		_ = f.Close() // read-only handle; the load error below is the one that matters
 		if err != nil {
 			log.Fatalf("loading index: %v", err)
 		}
@@ -116,18 +116,21 @@ func saveIndex(ix *tknn.MBI, path string) error {
 	if err != nil {
 		return err
 	}
+	// The cleanup removes are best-effort by design: the write or close
+	// error being returned is the actionable failure, and a stale .tmp
+	// file is harmless (the next save truncates it).
 	if err := ix.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	// Rename-into-place keeps a crash from leaving a torn file.
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("renaming into place: %w", err)
 	}
 	return nil

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one lint finding. File is relative to the module root so
+// output is stable regardless of the invocation directory.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// ruleCatalog documents every rule for -rules output and DESIGN.md
+// cross-reference. The invariants these protect are described in
+// DESIGN.md §"Static analysis & CI gates".
+var ruleCatalog = []struct{ Name, Doc string }{
+	{ruleFloat32, "hot-path distance kernels (internal/vec, internal/theap, *Distance*/*Search* in internal/graph) must stay in float32: no float64 conversions, no math.* calls outside the allowlist"},
+	{ruleRand, "library packages (root package, internal/...) must not call top-level math/rand functions; thread a seeded *rand.Rand for reproducible builds"},
+	{ruleLock, "exported methods must hold the mutex that guards the fields they touch, and Lock/Unlock pairs that span branches must use defer"},
+	{ruleErr, "cmd/ and internal/server must not discard error returns from io/os/net/encoding calls"},
+}
+
+// linter runs the rule set over a module and accumulates diagnostics.
+type linter struct {
+	mod   *Module
+	diags []Diagnostic
+}
+
+// Lint type-checks nothing itself — it walks the already-loaded module and
+// applies every rule to each package accepted by match, then filters out
+// findings suppressed by //lint:ignore comments. Diagnostics come back
+// sorted by file, line, column.
+func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
+	l := &linter{mod: mod}
+	for _, pkg := range mod.Pkgs {
+		if match != nil && !match(pkg) {
+			continue
+		}
+		l.checkFloat32Kernel(pkg)
+		l.checkGlobalRand(pkg)
+		l.checkLockDiscipline(pkg)
+		l.checkUncheckedErrors(pkg)
+	}
+	diags := suppress(mod, l.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// report records a finding at pos.
+func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
+	p := l.mod.Fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(l.mod.Root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	l.diags = append(l.diags, Diagnostic{
+		File: file,
+		Line: p.Line,
+		Col:  p.Column,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppress drops diagnostics covered by a `//lint:ignore <rules> [reason]`
+// comment on the same line or the line directly above. <rules> is a
+// comma-separated list of rule names.
+func suppress(mod *Module, diags []Diagnostic) []Diagnostic {
+	// ignores[file][line] holds the rules ignored at that line.
+	ignores := map[string]map[int]map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rules, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					p := mod.Fset.Position(c.Pos())
+					file := p.Filename
+					if rel, err := filepath.Rel(mod.Root, file); err == nil {
+						file = filepath.ToSlash(rel)
+					}
+					if ignores[file] == nil {
+						ignores[file] = map[int]map[string]bool{}
+					}
+					if ignores[file][p.Line] == nil {
+						ignores[file][p.Line] = map[string]bool{}
+					}
+					for _, r := range rules {
+						ignores[file][p.Line][r] = true
+					}
+				}
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		lines := ignores[d.File]
+		if lines != nil && (lines[d.Line][d.Rule] || lines[d.Line-1][d.Rule]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseIgnore recognizes `//lint:ignore rule1,rule2 reason...` and returns
+// the named rules.
+func parseIgnore(comment string) ([]string, bool) {
+	text, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return nil, false // /* */ comments don't carry directives
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "lint:ignore")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		// The reason is mandatory: an ignore with no justification does
+		// not suppress anything, so the finding stays visible.
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// matcher translates command-line package patterns into a package filter.
+// Supported forms, mirroring the subset of cmd/go syntax the Makefile and
+// CI use: "./..." (everything), "./dir/..." (subtree), "./dir" or "dir"
+// (exact package).
+func matcher(patterns []string) (func(*Package) bool, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	type pat struct {
+		rel    string
+		substr bool
+	}
+	var pats []pat
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		p = strings.TrimPrefix(p, "./")
+		if p == "..." || p == "" {
+			return func(*Package) bool { return true }, nil
+		}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			pats = append(pats, pat{rel: rest, substr: true})
+			continue
+		}
+		pats = append(pats, pat{rel: strings.TrimSuffix(p, "/")})
+	}
+	return func(pkg *Package) bool {
+		for _, p := range pats {
+			if pkg.Rel == p.rel {
+				return true
+			}
+			if p.substr && strings.HasPrefix(pkg.Rel, p.rel+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// unparen strips parentheses from an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,112 @@
+// Command tknnlint is this repository's static analyzer: it enforces the
+// invariants the compiler cannot see and `go vet` does not know about.
+//
+//	tknnlint [-json] [packages]
+//
+// Packages follow the usual ./... patterns; the default is the whole
+// module. Exit status is 0 when clean, 1 when findings were reported, and
+// 2 on usage or load errors, so it slots directly into CI next to vet.
+//
+// Rules (see `tknnlint -rules` and DESIGN.md "Static analysis & CI
+// gates"):
+//
+//	float32-kernel    hot-path distance kernels must stay float32
+//	no-global-rand    library code threads seeded *rand.Rand, never the
+//	                  global generator
+//	lock-discipline   exported methods hold the mutex guarding the fields
+//	                  they touch; branchy Lock/Unlock pairs use defer
+//	unchecked-errors  cmd/ and internal/server check io/os/net/encoding
+//	                  errors
+//
+// Any finding can be suppressed, one site at a time, with a trailing or
+// preceding comment:
+//
+//	//lint:ignore <rule>[,<rule>...] reason for the exception
+//
+// The analyzer is built on go/parser and go/types alone — the module has
+// no dependencies, and the linter keeps it that way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tknnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	listRules := fs.Bool("rules", false, "print the rule catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tknnlint [-json] [-rules] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range ruleCatalog {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "tknnlint:", err)
+		return 2
+	}
+	mod, err := LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	match, err := matcher(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "tknnlint:", err)
+		return 2
+	}
+	// A typo'd pattern silently passing would defeat the CI gate: treat
+	// "matched nothing" like go vet does, as an error.
+	matched := 0
+	for _, pkg := range mod.Pkgs {
+		if match(pkg) {
+			matched++
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(stderr, "tknnlint: %v matched no packages\n", fs.Args())
+		return 2
+	}
+	diags := Lint(mod, match)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "tknnlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "tknnlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rule unchecked-errors.
+//
+// The daemon and CLI sit at the I/O boundary: a swallowed os.Rename error
+// silently drops a persisted index, a swallowed Encode error truncates an
+// HTTP response mid-body. In cmd/ and internal/server, a call whose last
+// result is an error and whose callee lives in io, os, net, or encoding
+// (or any of their subpackages) must not appear as a bare statement.
+// Intentional discards stay visible as `_ = f.Close()`, and `defer
+// f.Close()` on read paths is accepted as idiomatic. Library packages are
+// out of scope — their error plumbing is covered by ordinary review and
+// tests, and the brute "flag everything" version of this rule buries real
+// findings in noise.
+const ruleErr = "unchecked-errors"
+
+// errPkgPrefixes are the package paths (and path prefixes) whose error
+// returns must be checked.
+var errPkgPrefixes = []string{"io", "os", "net", "encoding"}
+
+func uncheckedErrScope(rel string) bool {
+	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server"
+}
+
+func watchedErrPkg(path string) bool {
+	for _, p := range errPkgPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *linter) checkUncheckedErrors(pkg *Package) {
+	if !uncheckedErrScope(pkg.Rel) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || !watchedErrPkg(fn.Pkg().Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			last := sig.Results().At(sig.Results().Len() - 1).Type()
+			if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+				return true
+			}
+			l.report(call.Pos(), ruleErr,
+				"error returned by %s.%s is discarded; handle it or make the discard explicit with `_ =`",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function or method, when statically
+// known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rule float32-kernel.
+//
+// The distance kernels are the innermost loop of every query and build:
+// vec's Dot/SquaredL2/CosineDistance, theap's neighbor heaps, and the
+// Algorithm 2 traversal in internal/graph. They must stay in float32 —
+// a stray float64 widening halves the effective SIMD width, doubles
+// memory traffic for spilled accumulators, and (worse for a reproduction)
+// changes rounding so recall numbers stop matching runs that kept the
+// kernel narrow. The compiler happily inserts such widenings wherever a
+// math.* helper is called, so the rule bans float64 conversions and
+// math.* calls inside the kernel packages.
+const ruleFloat32 = "float32-kernel"
+
+// float32Allowlist names, per module-relative package, the functions
+// allowed to widen. Each package gets exactly one blessed widening point
+// so every float64 excursion is auditable: vec.sqrt32 wraps the final
+// math.Sqrt that CosineDistance and Normalize need (there is no float32
+// sqrt in the standard library), clamps negatives, and narrows straight
+// back. Everything else goes through it.
+var float32Allowlist = map[string]map[string]bool{
+	"internal/vec": {"sqrt32": true},
+}
+
+// float32Scope returns whether the rule applies to pkg at all and, when
+// limited, whether it applies only to distance/search functions.
+func float32Scope(rel string) (applies, wholePackage bool) {
+	switch rel {
+	case "internal/vec", "internal/theap":
+		return true, true
+	case "internal/graph":
+		// The graph package also holds construction-time code (connectivity
+		// repair, CSR assembly) where float64 is harmless; only the query
+		// path is kernel code.
+		return true, false
+	}
+	return false, false
+}
+
+func (l *linter) checkFloat32Kernel(pkg *Package) {
+	applies, whole := float32Scope(pkg.Rel)
+	if !applies {
+		return
+	}
+	allow := float32Allowlist[pkg.Rel]
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if allow[name] {
+				continue
+			}
+			if !whole && !strings.Contains(name, "Distance") && !strings.Contains(name, "Search") {
+				continue
+			}
+			l.checkFloat32Body(pkg, name, fd.Body)
+		}
+	}
+}
+
+func (l *linter) checkFloat32Body(pkg *Package, fn string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && isFloat64(tv.Type) {
+			l.report(call.Pos(), ruleFloat32,
+				"float64 conversion in %s: hot-path kernels are float32-only (route through the allowlisted widening point or //lint:ignore %s)",
+				fn, ruleFloat32)
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math" {
+					l.report(call.Pos(), ruleFloat32,
+						"math.%s call in %s operates on float64: hot-path kernels are float32-only (route through the allowlisted widening point or //lint:ignore %s)",
+						sel.Sel.Name, fn, ruleFloat32)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

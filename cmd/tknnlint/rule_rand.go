@@ -1,0 +1,67 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rule no-global-rand.
+//
+// Every randomized algorithm in the library — NNDescent's neighbor
+// sampling, kmeans++ seeding, NSW insertion, Algorithm 2's random entry
+// point — must draw from a seeded *rand.Rand threaded in by the caller.
+// The paper's evaluation depends on bit-identical index rebuilds (the
+// async-merge equivalence test literally compares adjacency arrays), and
+// one call to the global generator anywhere in a build path silently
+// destroys that: the global source is seeded from runtime entropy and
+// shared across goroutines, so results change run to run and under
+// different goroutine interleavings. Library packages therefore must not
+// call top-level math/rand functions. Binaries (cmd/), examples, and
+// tests may: their randomness is not part of an index's identity.
+const ruleRand = "no-global-rand"
+
+// randConstructors are the math/rand top-level functions that build
+// explicit generators rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func (l *linter) checkGlobalRand(pkg *Package) {
+	if pkg.Rel != "" && !strings.HasPrefix(pkg.Rel, "internal/") {
+		return // library packages only: root package and internal/...
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			l.report(call.Pos(), ruleRand,
+				"top-level rand.%s uses the process-global generator and breaks reproducible builds; thread a seeded *rand.Rand through the constructor",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,18 @@
+// Package graph is name-scoped: only *Distance*/*Search* functions are
+// kernel code; construction-time helpers may use float64 freely.
+package graph
+
+// SearchScore matches the *Search* scope: flagged.
+func SearchScore(d float32) float32 {
+	return float32(float64(d) * 1.5)
+}
+
+// DistanceBound matches the *Distance* scope: flagged.
+func DistanceBound(d float32) float32 {
+	return float32(float64(d) + 0.5)
+}
+
+// buildBudget is construction-time code outside the scoped names: clean.
+func buildBudget(n int) float64 {
+	return float64(n) * 1.5
+}

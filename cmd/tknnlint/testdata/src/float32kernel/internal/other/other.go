@@ -1,0 +1,13 @@
+// Package other is outside the kernel scope entirely: float64 is fine.
+package other
+
+import "math"
+
+// Mean is ordinary non-kernel code: clean.
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / math.Max(1, float64(len(xs)))
+}

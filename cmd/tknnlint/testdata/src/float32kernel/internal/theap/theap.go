@@ -1,0 +1,16 @@
+// Package theap is whole-package kernel scope: every function is checked.
+package theap
+
+import "math"
+
+// AbsDiff leaks through math on the kernel path: the math.Abs call and
+// the float64 conversion feeding it are two findings on one line.
+func AbsDiff(a, b float32) float32 {
+	return float32(math.Abs(float64(a - b)))
+}
+
+// Closer is the float32-only fix: clean.
+func Closer(a, b float32) bool {
+	d := a - b
+	return d*d < 1e-12
+}

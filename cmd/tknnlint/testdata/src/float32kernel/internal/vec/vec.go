@@ -1,0 +1,51 @@
+// Package vec mirrors the real internal/vec layout so the float32-kernel
+// rule's package scoping and allowlist can be exercised.
+package vec
+
+import "math"
+
+// Bad widens on the hot path twice: the conversion inside the loop and
+// the math.Sqrt call are both findings. The untyped-constant float64
+// accumulator is deliberately NOT a finding — the rule bans conversions
+// and math calls, not the float64 type itself.
+func Bad(a []float32) float32 {
+	s := 0.0
+	for _, x := range a {
+		s += float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Good stays in float32 end to end.
+func Good(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// sqrt32 is the allowlisted widening point: its conversion and math.Sqrt
+// call produce no findings.
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// Norm routes through the blessed helper: clean.
+func Norm(a []float32) float32 {
+	var s float32
+	for _, x := range a {
+		s += x * x
+	}
+	return sqrt32(s)
+}
+
+// Suppressed carries an explicit exception.
+func Suppressed(a []float32) float32 {
+	//lint:ignore float32-kernel reference computation kept for a doc example
+	return float32(float64(a[0]) * 2)
+}

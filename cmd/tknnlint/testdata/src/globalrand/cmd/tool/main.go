@@ -1,0 +1,9 @@
+// Binaries are exempt from no-global-rand: reproducibility is a library
+// property; a CLI may roll dice however it likes.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(3)
+}

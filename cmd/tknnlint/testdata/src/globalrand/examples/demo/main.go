@@ -1,0 +1,12 @@
+// Examples are exempt: their randomness is not part of an index's
+// identity, and global rand keeps snippets short.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Intn(10))
+}

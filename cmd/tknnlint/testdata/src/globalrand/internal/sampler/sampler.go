@@ -1,0 +1,37 @@
+// Package sampler exercises the no-global-rand rule inside internal/.
+package sampler
+
+import "math/rand"
+
+// Pick uses the global generator: flagged.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Shuffled uses two more top-level helpers: two findings.
+func Shuffled(n int) []int {
+	out := rand.Perm(n)
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Seeded builds an explicit generator: the rand.New/rand.NewSource
+// constructors are the sanctioned calls, and methods on the resulting
+// *rand.Rand are always fine.
+func Seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Quiet documents an explicit exception.
+func Quiet() float32 {
+	//lint:ignore no-global-rand demo of a justified one-off exception
+	return rand.Float32()
+}
+
+// Unjustified carries an ignore with no reason: the directive is invalid
+// and the finding stays.
+func Unjustified() float64 {
+	//lint:ignore no-global-rand
+	return rand.ExpFloat64()
+}

@@ -1,0 +1,15 @@
+// Package lintcase is the module root: a library package, so the
+// no-global-rand rule applies here too.
+package lintcase
+
+import "math/rand"
+
+// Jitter draws from the process-global generator: flagged.
+func Jitter() float64 {
+	return rand.NormFloat64()
+}
+
+// SeededJitter threads an explicit generator: clean.
+func SeededJitter(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}

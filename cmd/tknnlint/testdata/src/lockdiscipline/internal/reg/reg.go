@@ -1,0 +1,90 @@
+// Package reg exercises both halves of the lock-discipline rule: the
+// guarded-field heuristic and the branch-spanning unlock check.
+package reg
+
+import "sync"
+
+// Registry guards count and hits with mu. Add teaches the analyzer the
+// guard on count (write after mu.Lock); resetLocked teaches it the guard
+// on hits (write inside a *Locked helper).
+type Registry struct {
+	mu    sync.RWMutex
+	count int
+	hits  int
+	name  string // never written in a method: unguarded
+}
+
+// Add establishes that count is written under mu.
+func (r *Registry) Add() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+}
+
+// resetLocked follows the caller-holds-mu naming convention; its write
+// still marks hits as guarded.
+func (r *Registry) resetLocked() {
+	r.hits = 0
+}
+
+// Peek reads the guarded count without any lock: flagged.
+func (r *Registry) Peek() int {
+	return r.count
+}
+
+// Hits reads a field only ever written by a *Locked helper, again without
+// the lock: flagged.
+func (r *Registry) Hits() int {
+	return r.hits
+}
+
+// Len holds the read lock: clean.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.count
+}
+
+// Name reads an unguarded field: clean.
+func (r *Registry) Name() string {
+	return r.name
+}
+
+// Reset writes a guarded field lock-free but documents why: suppressed.
+func (r *Registry) Reset() {
+	//lint:ignore lock-discipline callers run Reset before any goroutines start
+	r.count = 0
+}
+
+// Drain releases the lock on one branch and at the end of the function —
+// the shape that leaks the lock when someone adds an early return.
+// Flagged at the Lock call.
+func (r *Registry) Drain(flush bool) int {
+	r.mu.Lock()
+	if flush {
+		n := r.count
+		r.count = 0
+		r.mu.Unlock()
+		return n
+	}
+	n := r.count
+	r.mu.Unlock()
+	return n
+}
+
+// swap keeps the pair in one block: clean even without defer.
+func (r *Registry) swap(n int) int {
+	r.mu.Lock()
+	old := r.count
+	r.count = n
+	r.mu.Unlock()
+	return old
+}
+
+// Touch holds the write lock while updating both fields: clean.
+func (r *Registry) Touch() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.hits++
+}

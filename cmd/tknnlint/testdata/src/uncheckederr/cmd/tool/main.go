@@ -1,0 +1,36 @@
+// Command tool exercises the unchecked-errors rule inside cmd/ scope.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Remove("stale.tmp") // discarded os error: flagged
+
+	f, err := os.Create("out.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	json.NewEncoder(f).Encode(map[string]int{"a": 1}) // discarded encoding error: flagged
+	f.Close()                                         // discarded close error on a write path: flagged
+
+	_ = os.Remove("explicitly-ignored") // explicit discard: clean
+
+	g, err := os.Open("in.json")
+	if err != nil {
+		return
+	}
+	defer g.Close() // deferred close on a read path is idiomatic: clean
+	var v map[string]int
+	if err := json.NewDecoder(g).Decode(&v); err != nil { // handled: clean
+		return
+	}
+	fmt.Println(v)
+
+	//lint:ignore unchecked-errors best-effort cleanup, failure changes nothing
+	os.Remove("also-ignored")
+}

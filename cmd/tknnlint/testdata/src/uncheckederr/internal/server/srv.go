@@ -1,0 +1,14 @@
+// Package server is the second unchecked-errors scope.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, v any) {
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(v) // discarded encoding error: flagged
+	fmt.Fprintln(w, "done")      // fmt is outside the watched io/os/net/encoding set: clean
+}

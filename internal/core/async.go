@@ -109,12 +109,12 @@ func (ix *Index) Close() error {
 		return nil
 	}
 	ix.mu.Lock()
-	if ix.closed {
-		ix.mu.Unlock()
-		return nil
-	}
+	already := ix.closed
 	ix.closed = true
 	ix.mu.Unlock()
+	if already {
+		return nil
+	}
 	ix.pending.Wait()
 	close(ix.jobs)
 	return nil

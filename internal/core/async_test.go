@@ -93,7 +93,8 @@ func TestAsyncSearchDuringBacklog(t *testing.T) {
 }
 
 // TestAsyncConcurrentAppendAndSearch hammers an async index from an
-// appender plus searchers (run with -race).
+// appender plus searchers. stress_race_test.go extends this workload and
+// is gated on the race build tag, so `go test -race` runs both.
 func TestAsyncConcurrentAppendAndSearch(t *testing.T) {
 	ix, err := New(asyncOptions(16))
 	if err != nil {

@@ -170,6 +170,12 @@ func (ix *Index) Len() int {
 // merging creates every ancestor whose subtree just became complete,
 // building their graphs in parallel when Options.Workers > 1.
 func (ix *Index) Append(v []float32, t int64) error {
+	// The defer-less unlock shape below is deliberate: the seal job must be
+	// sent on ix.jobs only after mu is released (a full jobs channel would
+	// otherwise deadlock the appender against the worker's install step,
+	// which needs the write lock), so the error paths unlock early instead
+	// of deferring.
+	//lint:ignore lock-discipline unlock-before-channel-send is load-bearing here
 	ix.mu.Lock()
 	if ix.closed {
 		ix.mu.Unlock()

@@ -495,7 +495,9 @@ func TestParallelBuildEquivalence(t *testing.T) {
 }
 
 // TestConcurrentSearches hammers SearchWith from several goroutines while
-// results are checked for window containment (run with -race).
+// results are checked for window containment. Heavier mixed
+// append/search/seal workloads live in stress_race_test.go and run under
+// `go test -race` (the `make race` target).
 func TestConcurrentSearches(t *testing.T) {
 	ix, err := New(testOptions(16))
 	if err != nil {
@@ -534,8 +536,9 @@ type errorString string
 
 func (e errorString) Error() string { return string(e) }
 
-// TestSearchDuringAppends interleaves appends and searches (run with
-// -race); appends block searches via the write lock.
+// TestSearchDuringAppends interleaves appends and searches; appends block
+// searches via the write lock. The race-gated stress tests in
+// stress_race_test.go scale this pattern up under the detector.
 func TestSearchDuringAppends(t *testing.T) {
 	ix, err := New(testOptions(8))
 	if err != nil {
