@@ -6,11 +6,11 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/
+RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint recover
 
-check: fmt vet build test race lint
+check: fmt vet build test race lint recover
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -32,3 +32,10 @@ race:
 
 lint:
 	$(GO) run ./cmd/tknnlint ./...
+
+# Crash-recovery gate: the kill-at-random-offset and torn-tail tests with
+# fresh state (-count=1), then the whole WAL package under the race
+# detector.
+recover:
+	$(GO) test -count=1 -run 'Crash|Recovery|TornTail|Fuzz' ./internal/wal/
+	$(GO) test -race ./internal/wal/...

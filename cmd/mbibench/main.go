@@ -19,6 +19,7 @@
 //	drift     non-stationary data: MBI vs SF under cluster drift
 //	ivf       quantization-family comparator (IVF-Flat vs SF vs MBI)
 //	async     insert-latency profile: synchronous vs background merging
+//	wal       ingestion throughput: no WAL vs fsync=interval vs fsync=always
 //	all       everything above, in order
 //
 // Flags:
@@ -111,6 +112,8 @@ func run(args []string) error {
 		bench.IVFExperiment(cfg, profiles, w)
 	case "async":
 		bench.AsyncMergeExperiment(cfg, w)
+	case "wal":
+		bench.WALExperiment(cfg, w)
 	case "all":
 		bench.Table2(cfg, profiles, w)
 		bench.Table3(cfg, profiles, w)
@@ -128,6 +131,7 @@ func run(args []string) error {
 		bench.DriftExperiment(cfg, w)
 		bench.IVFExperiment(cfg, profiles, w)
 		bench.AsyncMergeExperiment(cfg, w)
+		bench.WALExperiment(cfg, w)
 	default:
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}

@@ -12,6 +12,8 @@
 //	                               start at start-time and increment)
 //	search -k K -start A -end B -vector "1,2,3"
 //	                               time-restricted kNN query
+//	checkpoint                     snapshot the index now and prune the
+//	                               WAL (requires tknnd -data-dir)
 package main
 
 import (
@@ -64,6 +66,14 @@ func run(args []string) error {
 		}
 		fmt.Printf("vectors:     %d\nblocks:      %d\ntree height: %d\ndim:         %d\nmetric:      %s\nleaf size:   %d\n",
 			st.Vectors, st.Blocks, st.TreeHeight, st.Dim, st.Metric, st.LeafSize)
+		return nil
+	case "checkpoint":
+		info, err := c.Checkpoint(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint %s: covers %d records, %d bytes in %s (%d segments removed)\n",
+			info.Path, info.Seq, info.Bytes, info.Duration, info.SegmentsRemoved)
 		return nil
 	case "add":
 		return runAdd(ctx, c, rest)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/vec"
+	"repro/internal/wal"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -21,6 +23,43 @@ func testServer(t *testing.T) *httptest.Server {
 	ts := httptest.NewServer(server.New(ix))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+func TestRunCheckpoint(t *testing.T) {
+	opts := tknn.MBIOptions{Dim: 4, LeafSize: 8, GraphDegree: 4}
+	d, err := wal.Open(wal.Config{Dir: t.TempDir(), Sync: wal.SyncNever}, func(snapshot io.Reader) (wal.Target, error) {
+		if snapshot == nil {
+			return tknn.NewMBI(opts)
+		}
+		return tknn.LoadMBI(snapshot, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("closing manager: %v", err)
+		}
+	})
+	ts := httptest.NewServer(server.NewDurable(d.Index().(*tknn.MBI), d))
+	t.Cleanup(ts.Close)
+
+	if err := run([]string{"-server", ts.URL, "add", "-time", "1", "-vector", "1,0,0,0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-server", ts.URL, "checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Checkpoints != 1 {
+		t.Fatalf("stats after ctl checkpoint: %+v", st)
+	}
+
+	// Against a snapshot-on-exit server the command fails with the
+	// server's explanation rather than succeeding vacuously.
+	legacy := testServer(t)
+	if err := run([]string{"-server", legacy.URL, "checkpoint"}); err == nil {
+		t.Fatal("checkpoint against a non-durable server should fail")
+	}
 }
 
 func TestParseVector(t *testing.T) {

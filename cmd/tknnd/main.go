@@ -1,16 +1,24 @@
 // Command tknnd serves one MBI index over HTTP.
 //
-//	tknnd -addr :8080 -dim 128 -metric angular -leaf 4096
+//	tknnd -addr :8080 -dim 128 -metric angular -leaf 4096 -data-dir /var/lib/tknn
 //
 // Endpoints (JSON):
 //
-//	POST /vectors   insert one timestamped vector or a batch
-//	POST /search    time-restricted kNN search
-//	GET  /stats     index shape
-//	GET  /healthz   liveness
+//	POST /vectors           insert one timestamped vector or a batch
+//	POST /search            time-restricted kNN search
+//	GET  /stats             index shape
+//	GET  /healthz           liveness
+//	POST /admin/checkpoint  snapshot now and prune the WAL (durable mode)
 //
-// With -load the index starts from a file written by -save-on-exit (or by
-// tknn.MBI.Save); with -save-on-exit it persists on SIGINT/SIGTERM.
+// Durability. With -data-dir the daemon runs a write-ahead log: every
+// acknowledged insert is logged (fsync per -fsync) before it is applied,
+// background checkpoints bound replay time (-checkpoint-every), and a
+// crashed process recovers its exact acknowledged state on restart.
+//
+// The legacy pair stays supported for snapshot-only deployments: with
+// -load the index starts from a file written by -save-on-exit (or by
+// tknn.MBI.Save); with -save-on-exit it persists on SIGINT/SIGTERM. The
+// two modes are mutually exclusive — the WAL subsumes both flags.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -27,6 +36,7 @@ import (
 
 	tknn "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -37,8 +47,13 @@ func main() {
 	tau := flag.Float64("tau", 0.5, "block-selection threshold")
 	degree := flag.Int("degree", 24, "per-block graph degree")
 	eps := flag.Float64("eps", 1.2, "search range-extension factor")
-	load := flag.String("load", "", "load index from file at startup")
-	saveOnExit := flag.String("save-on-exit", "", "save index to file on shutdown")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (durable mode)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync=interval")
+	checkpointEvery := flag.Int("checkpoint-every", 100000, "checkpoint after this many appended records (0 = manual only)")
+	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
+	load := flag.String("load", "", "load index from file at startup (legacy snapshot mode)")
+	saveOnExit := flag.String("save-on-exit", "", "save index to file on shutdown (legacy snapshot mode)")
 	flag.Parse()
 
 	var metric tknn.Metric
@@ -60,9 +75,38 @@ func main() {
 		Epsilon:     *eps,
 	}
 
+	if *dataDir != "" && (*load != "" || *saveOnExit != "") {
+		log.Fatal("-data-dir already persists the index; drop -load/-save-on-exit")
+	}
+
 	var ix *tknn.MBI
+	var manager *wal.Manager
 	var err error
-	if *load != "" {
+	switch {
+	case *dataDir != "":
+		policy, perr := wal.ParseSyncPolicy(*fsync)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		manager, err = wal.Open(wal.Config{
+			Dir:             *dataDir,
+			Sync:            policy,
+			SyncInterval:    *fsyncInterval,
+			SegmentBytes:    *segmentBytes,
+			CheckpointEvery: *checkpointEvery,
+			Logf:            log.Printf,
+		}, func(snapshot io.Reader) (wal.Target, error) {
+			if snapshot == nil {
+				return tknn.NewMBI(opts)
+			}
+			return tknn.LoadMBI(snapshot, opts)
+		})
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		ix = manager.Index().(*tknn.MBI)
+		log.Printf("durable mode: %d vectors recovered from %s (fsync=%s)", ix.Len(), *dataDir, policy)
+	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
 			log.Fatalf("opening %s: %v", *load, ferr)
@@ -73,40 +117,74 @@ func main() {
 			log.Fatalf("loading index: %v", err)
 		}
 		log.Printf("loaded %d vectors (%d blocks) from %s", ix.Len(), ix.BlockCount(), *load)
-	} else {
+	default:
 		ix, err = tknn.NewMBI(opts)
 		if err != nil {
 			log.Fatalf("creating index: %v", err)
 		}
 	}
 
+	var handler http.Handler
+	if manager != nil {
+		handler = server.NewDurable(ix, manager)
+	} else {
+		handler = server.New(ix)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	// Run the listener in a goroutine and shut down from the main one:
+	// Shutdown blocks until in-flight requests drain, so no insert can
+	// race the final snapshot/seal below.
+	errCh := make(chan error, 1)
 	go func() {
-		<-done
+		errCh <- srv.ListenAndServe()
+	}()
+	log.Printf("tknnd listening on %s (dim %d, %s, S_L %d)", *addr, *dim, metric, *leaf)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s; draining connections", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-	}()
-
-	log.Printf("tknnd listening on %s (dim %d, %s, S_L %d)", *addr, *dim, metric, *leaf)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			log.Printf("serve: %v", serveErr)
+		}
+	case err := <-errCh:
+		// The listener failed outright (bad addr, port in use).
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
 	}
 
+	// Writes are drained; persist and seal.
+	if manager != nil {
+		start := time.Now()
+		info, err := manager.Checkpoint()
+		if err != nil {
+			log.Printf("final checkpoint: %v (the WAL still holds every acknowledged insert)", err)
+		} else {
+			log.Printf("final checkpoint %s: %d vectors, %d bytes in %v", info.Path, ix.Len(), info.Bytes, time.Since(start).Round(time.Millisecond))
+		}
+		if err := manager.Close(); err != nil {
+			log.Fatalf("sealing WAL: %v", err)
+		}
+	}
 	if *saveOnExit != "" {
+		start := time.Now()
 		if err := saveIndex(ix, *saveOnExit); err != nil {
 			log.Fatalf("saving index: %v", err)
 		}
-		log.Printf("saved %d vectors to %s", ix.Len(), *saveOnExit)
+		log.Printf("saved %d vectors to %s in %v", ix.Len(), *saveOnExit, time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -25,7 +25,9 @@ const ruleErr = "unchecked-errors"
 var errPkgPrefixes = []string{"io", "os", "net", "encoding"}
 
 func uncheckedErrScope(rel string) bool {
-	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server"
+	// internal/wal is in scope because a dropped fsync or close error
+	// there silently voids the durability guarantee.
+	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" || rel == "internal/wal"
 }
 
 func watchedErrPkg(path string) bool {

@@ -1,0 +1,11 @@
+// Package wal is the third unchecked-errors scope: dropped fsync and
+// close errors void the durability guarantee.
+package wal
+
+import "os"
+
+func seal(f *os.File) {
+	f.Sync()                   // discarded fsync error: flagged
+	f.Close()                  // discarded close error: flagged
+	_ = os.Remove("stale.tmp") // explicit discard: clean
+}

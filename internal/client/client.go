@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // Client talks to one tknnd instance.
@@ -82,6 +83,16 @@ func (c *Client) AddBatch(ctx context.Context, batch []server.AddEntry) ([]int, 
 		return []int{out.ID}, nil
 	}
 	return out.IDs, nil
+}
+
+// Checkpoint asks the server to snapshot its index and prune covered WAL
+// segments. It fails when the daemon runs without a data dir.
+func (c *Client) Checkpoint(ctx context.Context) (wal.CheckpointInfo, error) {
+	var out wal.CheckpointInfo
+	if err := c.post(ctx, "/admin/checkpoint", struct{}{}, &out); err != nil {
+		return wal.CheckpointInfo{}, err
+	}
+	return out, nil
 }
 
 // Search runs a TkNN query.

@@ -2,11 +2,13 @@ package client
 
 import (
 	"context"
+	"io"
 	"net/http/httptest"
 	"testing"
 
 	tknn "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func newPair(t *testing.T) (*Client, *httptest.Server) {
@@ -18,6 +20,52 @@ func newPair(t *testing.T) (*Client, *httptest.Server) {
 	ts := httptest.NewServer(server.New(ix))
 	t.Cleanup(ts.Close)
 	return New(ts.URL), ts
+}
+
+// newDurablePair backs the server with a WAL manager so /admin/checkpoint
+// is live.
+func newDurablePair(t *testing.T) *Client {
+	t.Helper()
+	opts := tknn.MBIOptions{Dim: 3, LeafSize: 8, GraphDegree: 4}
+	d, err := wal.Open(wal.Config{Dir: t.TempDir(), Sync: wal.SyncNever}, func(snapshot io.Reader) (wal.Target, error) {
+		if snapshot == nil {
+			return tknn.NewMBI(opts)
+		}
+		return tknn.LoadMBI(snapshot, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("closing manager: %v", err)
+		}
+	})
+	ts := httptest.NewServer(server.NewDurable(d.Index().(*tknn.MBI), d))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := newDurablePair(t)
+	ctx := context.Background()
+	if _, err := c.Add(ctx, []float32{1, 0, 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 || info.Bytes <= 0 {
+		t.Errorf("checkpoint info %+v", info)
+	}
+}
+
+func TestCheckpointWithoutWALFails(t *testing.T) {
+	c, _ := newPair(t)
+	if _, err := c.Checkpoint(context.Background()); err == nil {
+		t.Fatal("checkpoint against a non-durable server should fail")
+	}
 }
 
 func TestHealthStatsRoundTrip(t *testing.T) {

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nndescent"
+	"repro/internal/sf"
+	"repro/internal/vec"
+)
+
+// Offsets of the version field within the fixed header: magic and
+// version are each written as uint64.
+const versionOffset = 8
+
+// asLegacyV1 rewrites a version-2 file as the version-1 format: stamp the
+// old version number and strip the 8-byte footer. Byte-identical to what
+// the v1 encoder produced, since the footer was a pure suffix.
+func asLegacyV1(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	if len(raw) < versionOffset+8+8 {
+		t.Fatalf("file too short to rewrite (%d bytes)", len(raw))
+	}
+	out := append([]byte{}, raw[:len(raw)-8]...)
+	out[versionOffset] = byte(legacyVersion)
+	return out
+}
+
+func TestFooterDetectsTruncation(t *testing.T) {
+	ix := buildMBI(t, 40)
+	var buf bytes.Buffer
+	if err := SaveMBI(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Chop off the footer entirely, part of it, and one body byte: all
+	// three truncations must fail loudly rather than restore a prefix.
+	for _, cut := range []int{len(raw) - 8, len(raw) - 3, len(raw) - 9} {
+		if _, err := LoadMBI(bytes.NewReader(raw[:cut]), ix.Options()); err == nil {
+			t.Fatalf("LoadMBI accepted a file truncated to %d of %d bytes", cut, len(raw))
+		}
+	}
+}
+
+func TestFooterDetectsBodyCorruption(t *testing.T) {
+	ix := buildMBI(t, 40)
+	var buf bytes.Buffer
+	if err := SaveMBI(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte{}, buf.Bytes()...)
+	// Flip a byte inside the vector data — structurally invisible, so
+	// only the checksum can catch it.
+	headerLen := 16 + 1 + 1 + 4 + 8
+	timesLen := 8 * ix.Len()
+	raw[headerLen+timesLen+5] ^= 0x01
+	_, err := LoadMBI(bytes.NewReader(raw), ix.Options())
+	if err == nil {
+		t.Fatal("LoadMBI accepted a file with a flipped vector byte")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want a checksum error, got: %v", err)
+	}
+}
+
+func TestFooterLegacyV1StillLoads(t *testing.T) {
+	ix := buildMBI(t, 40)
+	var buf bytes.Buffer
+	if err := SaveMBI(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	legacy := asLegacyV1(t, buf.Bytes())
+	got, err := LoadMBI(bytes.NewReader(legacy), ix.Options())
+	if err != nil {
+		t.Fatalf("LoadMBI rejected a legacy footerless file: %v", err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ix.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), ix.Len())
+	}
+}
+
+func TestFooterSFTruncationAndLegacy(t *testing.T) {
+	builder := nndescent.MustNew(nndescent.DefaultConfig(4))
+	sfix := sf.New(5, vec.Euclidean, builder)
+	rng := rand.New(rand.NewSource(4))
+	v := make([]float32, 5)
+	for i := 0; i < 40; i++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		if err := sfix.Append(v, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sfix.BuildGraph(5)
+
+	var buf bytes.Buffer
+	if err := SaveSF(&buf, sfix); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadSF(bytes.NewReader(raw[:len(raw)-3]), builder); err == nil {
+		t.Fatal("LoadSF accepted a truncated file")
+	}
+	legacy := asLegacyV1(t, raw)
+	got, err := LoadSF(bytes.NewReader(legacy), builder)
+	if err != nil {
+		t.Fatalf("LoadSF rejected a legacy footerless file: %v", err)
+	}
+	if got.Len() != sfix.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), sfix.Len())
+	}
+}

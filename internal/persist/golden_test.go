@@ -21,7 +21,9 @@ func TestFormatGolden(t *testing.T) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	got := hex.EncodeToString(sum[:])
-	const want = "1e85c57c3793aa62869fece26c1fafbecb7b2b154ee7a58ebbc3a46ea955968a"
+	// Version 2: CRC32C integrity footer (bumped from version 1, hash
+	// 1e85c57c3793aa62869fece26c1fafbecb7b2b154ee7a58ebbc3a46ea955968a).
+	const want = "bc0c0c83a06eca4422b53009b9066151349a32280d1d345a8eb3dfa63fc74557"
 	if got != want {
 		t.Fatalf("serialized format changed: sha256 = %s (was %s); see comment above", got, want)
 	}

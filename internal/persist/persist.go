@@ -3,12 +3,18 @@
 // index), serialization is how the experiments measure index size: the
 // "Index Sizes" of Table 4 and Figure 7b are the byte counts these
 // encoders produce, covering vectors, timestamps, and every block graph.
+//
+// Format history: version 1 had no integrity check, so a truncated or
+// bit-rotted file could deserialize into garbage. Version 2 appends an
+// 8-byte footer — magic plus the CRC32C of every preceding byte — which
+// the loaders verify before restoring. Version-1 files are still read.
 package persist
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/core"
@@ -19,46 +25,112 @@ import (
 
 // Format constants.
 const (
-	magic   = uint32(0x4d424958) // "MBIX"
-	version = uint32(1)
+	magic = uint32(0x4d424958) // "MBIX"
+	// version 2 appended the CRC32C footer; version 1 files (no footer)
+	// remain readable.
+	version       = uint32(2)
+	legacyVersion = uint32(1)
 
 	kindMBI = uint8(0)
 	kindSF  = uint8(1)
+
+	footerMagic = uint32(0x4d424946) // "MBIF"
 )
 
 var order = binary.LittleEndian
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter hashes everything written through it with CRC32C, so the
+// footer can vouch for the exact bytes on disk.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader hashes exactly the bytes the parser consumes. It must sit
+// ON TOP of the bufio reader, not under it: bufio reads ahead, and
+// read-ahead bytes (including the footer itself) must not enter the sum.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// writeFooter appends the integrity footer: magic + CRC32C of every
+// preceding byte. Written past the crcWriter — the footer does not hash
+// itself.
+func writeFooter(w io.Writer, sum uint32) error {
+	return binaryWrite(w, footerMagic, sum)
+}
+
+// verifyFooter checks the integrity footer against the bytes the parser
+// consumed. Version-1 files predate the footer and are accepted as-is;
+// a version-2 file with a missing or mismatched footer was truncated or
+// corrupted and fails loudly.
+func verifyFooter(ver uint32, r io.Reader, sum uint32) error {
+	if ver < 2 {
+		return nil
+	}
+	var m, want uint32
+	if err := binaryRead(r, &m, &want); err != nil {
+		return fmt.Errorf("persist: reading integrity footer (file truncated?): %w", err)
+	}
+	if m != footerMagic {
+		return fmt.Errorf("persist: bad footer magic %#x (file truncated?)", m)
+	}
+	if sum != want {
+		return fmt.Errorf("persist: checksum mismatch: file says %#x, content hashes to %#x", want, sum)
+	}
+	return nil
+}
 
 // SaveMBI writes ix to w. Outstanding asynchronous merges are flushed
 // first so the file is always quiescent (restorable).
 func SaveMBI(w io.Writer, ix *core.Index) error {
 	ix.Flush()
 	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
 	store := ix.Store()
 	times := ix.Times()
-	if err := writeHeader(bw, kindMBI, ix.Options().Metric, store.Dim(), len(times)); err != nil {
+	if err := writeHeader(cw, kindMBI, ix.Options().Metric, store.Dim(), len(times)); err != nil {
 		return err
 	}
-	if err := writeData(bw, store, times); err != nil {
+	if err := writeData(cw, store, times); err != nil {
 		return err
 	}
 	opts := ix.Options()
 	blocks := ix.Blocks()
 	forest := ix.Forest()
-	if err := writeInts(bw, uint64(opts.LeafSize), uint64(ix.OpenLo()), uint64(len(blocks)), uint64(len(forest))); err != nil {
+	if err := writeInts(cw, uint64(opts.LeafSize), uint64(ix.OpenLo()), uint64(len(blocks)), uint64(len(forest))); err != nil {
 		return err
 	}
 	for _, root := range forest {
-		if err := writeInts(bw, uint64(root)); err != nil {
+		if err := writeInts(cw, uint64(root)); err != nil {
 			return err
 		}
 	}
 	for _, b := range blocks {
-		if err := writeInts(bw, uint64(b.Lo), uint64(b.Hi), uint64(b.Height)); err != nil {
+		if err := writeInts(cw, uint64(b.Lo), uint64(b.Hi), uint64(b.Height)); err != nil {
 			return err
 		}
-		if err := writeGraph(bw, b.Graph); err != nil {
+		if err := writeGraph(cw, b.Graph); err != nil {
 			return err
 		}
+	}
+	if err := writeFooter(bw, cw.sum); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -68,7 +140,8 @@ func SaveMBI(w io.Writer, ix *core.Index) error {
 // Metric, and LeafSize must match the file.
 func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 	br := bufio.NewReader(r)
-	metric, dim, n, err := readHeader(br, kindMBI)
+	cr := &crcReader{r: br}
+	ver, metric, dim, n, err := readHeader(cr, kindMBI)
 	if err != nil {
 		return nil, err
 	}
@@ -78,12 +151,12 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 	if opts.Metric != metric {
 		return nil, fmt.Errorf("persist: file has metric %v, options say %v", metric, opts.Metric)
 	}
-	store, times, err := readData(br, dim, n)
+	store, times, err := readData(cr, dim, n)
 	if err != nil {
 		return nil, err
 	}
 	var leafSize, openLo, numBlocks, numForest uint64
-	if err := readInts(br, &leafSize, &openLo, &numBlocks, &numForest); err != nil {
+	if err := readInts(cr, &leafSize, &openLo, &numBlocks, &numForest); err != nil {
 		return nil, err
 	}
 	if opts.LeafSize != int(leafSize) {
@@ -97,7 +170,7 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 	forest := make([]int, 0, minInt(int(numForest), readChunk))
 	for i := uint64(0); i < numForest; i++ {
 		var v uint64
-		if err := readInts(br, &v); err != nil {
+		if err := readInts(cr, &v); err != nil {
 			return nil, err
 		}
 		forest = append(forest, int(v))
@@ -105,14 +178,19 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 	blocks := make([]core.Block, 0, minInt(int(numBlocks), readChunk))
 	for i := uint64(0); i < numBlocks; i++ {
 		var lo, hi, height uint64
-		if err := readInts(br, &lo, &hi, &height); err != nil {
+		if err := readInts(cr, &lo, &hi, &height); err != nil {
 			return nil, err
 		}
-		g, err := readGraph(br)
+		g, err := readGraph(cr)
 		if err != nil {
 			return nil, err
 		}
 		blocks = append(blocks, core.Block{Lo: int(lo), Hi: int(hi), Height: int(height), Graph: g})
+	}
+	// Footer first: don't hand Restore bytes the checksum disowns. Read
+	// from br, past the crcReader — the footer does not hash itself.
+	if err := verifyFooter(ver, br, cr.sum); err != nil {
+		return nil, err
 	}
 	return core.Restore(opts, store, times, blocks, forest, int(openLo))
 }
@@ -120,22 +198,26 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 // SaveSF writes ix to w. The index must have a built graph.
 func SaveSF(w io.Writer, ix *sf.Index) error {
 	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
 	store := ix.Store()
 	times := ix.Times()
-	if err := writeHeader(bw, kindSF, ix.Metric(), store.Dim(), len(times)); err != nil {
+	if err := writeHeader(cw, kindSF, ix.Metric(), store.Dim(), len(times)); err != nil {
 		return err
 	}
-	if err := writeData(bw, store, times); err != nil {
+	if err := writeData(cw, store, times); err != nil {
 		return err
 	}
-	if err := writeInts(bw, uint64(ix.Built())); err != nil {
+	if err := writeInts(cw, uint64(ix.Built())); err != nil {
 		return err
 	}
 	g := ix.Graph()
 	if g == nil {
 		g = &graph.CSR{Off: []int32{0}}
 	}
-	if err := writeGraph(bw, g); err != nil {
+	if err := writeGraph(cw, g); err != nil {
+		return err
+	}
+	if err := writeFooter(bw, cw.sum); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -145,11 +227,12 @@ func SaveSF(w io.Writer, ix *sf.Index) error {
 // rebuilds.
 func LoadSF(r io.Reader, builder graph.Builder) (*sf.Index, error) {
 	br := bufio.NewReader(r)
-	metric, dim, n, err := readHeader(br, kindSF)
+	cr := &crcReader{r: br}
+	ver, metric, dim, n, err := readHeader(cr, kindSF)
 	if err != nil {
 		return nil, err
 	}
-	store, times, err := readData(br, dim, n)
+	store, times, err := readData(cr, dim, n)
 	if err != nil {
 		return nil, err
 	}
@@ -160,11 +243,14 @@ func LoadSF(r io.Reader, builder graph.Builder) (*sf.Index, error) {
 		}
 	}
 	var built uint64
-	if err := readInts(br, &built); err != nil {
+	if err := readInts(cr, &built); err != nil {
 		return nil, err
 	}
-	g, err := readGraph(br)
+	g, err := readGraph(cr)
 	if err != nil {
+		return nil, err
+	}
+	if err := verifyFooter(ver, br, cr.sum); err != nil {
 		return nil, err
 	}
 	if built > 0 || g.NumNodes() > 0 {
@@ -207,36 +293,36 @@ func writeHeader(w io.Writer, kind uint8, metric vec.Metric, dim, n int) error {
 	return binaryWrite(w, kind, uint8(metric), uint32(dim), uint64(n))
 }
 
-func readHeader(r io.Reader, wantKind uint8) (vec.Metric, int, int, error) {
+func readHeader(r io.Reader, wantKind uint8) (uint32, vec.Metric, int, int, error) {
 	var m, v uint64
 	if err := readInts(r, &m, &v); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if uint32(m) != magic {
-		return 0, 0, 0, fmt.Errorf("persist: bad magic %#x", m)
+		return 0, 0, 0, 0, fmt.Errorf("persist: bad magic %#x", m)
 	}
-	if uint32(v) != version {
-		return 0, 0, 0, fmt.Errorf("persist: unsupported version %d", v)
+	if uint32(v) != version && uint32(v) != legacyVersion {
+		return 0, 0, 0, 0, fmt.Errorf("persist: unsupported version %d", v)
 	}
 	var kind, metric uint8
 	var dim uint32
 	var n uint64
 	if err := binaryRead(r, &kind, &metric, &dim, &n); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if kind != wantKind {
-		return 0, 0, 0, fmt.Errorf("persist: file holds index kind %d, want %d", kind, wantKind)
+		return 0, 0, 0, 0, fmt.Errorf("persist: file holds index kind %d, want %d", kind, wantKind)
 	}
 	if !vec.Metric(metric).Valid() {
-		return 0, 0, 0, fmt.Errorf("persist: invalid metric %d", metric)
+		return 0, 0, 0, 0, fmt.Errorf("persist: invalid metric %d", metric)
 	}
 	if dim == 0 || dim > 1<<20 {
-		return 0, 0, 0, fmt.Errorf("persist: implausible dimension %d", dim)
+		return 0, 0, 0, 0, fmt.Errorf("persist: implausible dimension %d", dim)
 	}
 	if n > 1<<40 {
-		return 0, 0, 0, fmt.Errorf("persist: implausible vector count %d", n)
+		return 0, 0, 0, 0, fmt.Errorf("persist: implausible vector count %d", n)
 	}
-	return vec.Metric(metric), int(dim), int(n), nil
+	return uint32(v), vec.Metric(metric), int(dim), int(n), nil
 }
 
 func writeData(w io.Writer, store *vec.Store, times []int64) error {

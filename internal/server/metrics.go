@@ -92,4 +92,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tknn_insert_latency_seconds Per-request insert latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_insert_latency_seconds histogram\n")
 	m.insertLatency.write(w, "tknn_insert_latency_seconds")
+	if s.durable != nil {
+		s.writeWALMetrics(w)
+	}
+}
+
+// writeWALMetrics exposes the durability counters when the daemon runs
+// with a WAL data dir.
+func (s *Server) writeWALMetrics(w http.ResponseWriter) {
+	st := s.durable.Stats()
+	fmt.Fprintf(w, "# HELP tknn_wal_appended_records_total Records written to the WAL since start.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_appended_records_total counter\n")
+	fmt.Fprintf(w, "tknn_wal_appended_records_total %d\n", st.Appended)
+	fmt.Fprintf(w, "# HELP tknn_wal_fsyncs_total Fsync syscalls issued on WAL segments.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_fsyncs_total counter\n")
+	fmt.Fprintf(w, "tknn_wal_fsyncs_total %d\n", st.Fsyncs)
+	fmt.Fprintf(w, "# HELP tknn_wal_replayed_records Records replayed into the index at startup.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_replayed_records gauge\n")
+	fmt.Fprintf(w, "tknn_wal_replayed_records %d\n", st.Replayed)
+	fmt.Fprintf(w, "# HELP tknn_wal_checkpoints_total Snapshots written since start.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_checkpoints_total counter\n")
+	fmt.Fprintf(w, "tknn_wal_checkpoints_total %d\n", st.Checkpoints)
+	fmt.Fprintf(w, "# HELP tknn_wal_last_checkpoint_age_seconds Seconds since the newest snapshot; -1 when none exists.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_last_checkpoint_age_seconds gauge\n")
+	age := float64(-1)
+	if !st.LastCheckpointTime.IsZero() {
+		age = time.Since(st.LastCheckpointTime).Seconds()
+	}
+	fmt.Fprintf(w, "tknn_wal_last_checkpoint_age_seconds %g\n", age)
+	fmt.Fprintf(w, "# HELP tknn_wal_segments Segment files on disk.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_segments gauge\n")
+	fmt.Fprintf(w, "tknn_wal_segments %d\n", st.Segments)
+	fmt.Fprintf(w, "# HELP tknn_wal_bytes Bytes of log on disk.\n")
+	fmt.Fprintf(w, "# TYPE tknn_wal_bytes gauge\n")
+	fmt.Fprintf(w, "tknn_wal_bytes %d\n", st.WALBytes)
 }

@@ -12,6 +12,8 @@
 //	                 "start": 0, "end": 1000}               -> {"results": [...]}
 //	GET  /stats                                             -> index shape
 //	GET  /healthz                                           -> 200 ok
+//	POST /admin/checkpoint                                  -> snapshot now
+//	                (404 unless the daemon runs with a WAL data dir)
 package server
 
 import (
@@ -23,11 +25,15 @@ import (
 	"time"
 
 	tknn "repro"
+	"repro/internal/wal"
 )
 
 // Server handles the HTTP API around one MBI index.
 type Server struct {
 	ix *tknn.MBI
+	// durable, when set, write-ahead-logs every insert and serves
+	// /admin/checkpoint; nil means the legacy snapshot-on-exit mode.
+	durable *wal.Manager
 	// addMu serializes ingestion: tknn.MBI.Add is single-writer.
 	addMu   sync.Mutex
 	mux     *http.ServeMux
@@ -42,6 +48,16 @@ func New(ix *tknn.MBI) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	return s
+}
+
+// NewDurable wraps the index managed by d in a Server whose inserts go
+// through the write-ahead log: every acknowledged /vectors request is on
+// disk before the response leaves. ix must be d.Index().
+func NewDurable(ix *tknn.MBI, d *wal.Manager) *Server {
+	s := New(ix)
+	s.durable = d
 	return s
 }
 
@@ -106,16 +122,38 @@ func (s *Server) addBatch(w http.ResponseWriter, batch []AddEntry) {
 		s.metrics.insertLatency.observe(time.Since(start))
 	}()
 	ids := make([]int, 0, len(batch))
-	for i, e := range batch {
-		id := s.ix.Len()
-		if err := s.ix.Add(e.Vector, e.Time); err != nil {
-			// Report how far we got: earlier entries are committed
-			// (appends are not transactional).
+	if s.durable != nil {
+		// One AppendBatch call: the whole batch is logged and fsynced
+		// (policy permitting) before any response. On a mid-batch
+		// rejection the earlier entries are committed, matching the
+		// non-durable path.
+		before := s.ix.Len()
+		vs := make([][]float32, len(batch))
+		ts := make([]int64, len(batch))
+		for i, e := range batch {
+			vs[i], ts[i] = e.Vector, e.Time
+		}
+		err := s.durable.AppendBatch(vs, ts)
+		for id := before; id < s.ix.Len(); id++ {
+			ids = append(ids, id)
+		}
+		if err != nil {
 			s.metrics.inserts.Add(int64(len(ids)))
-			s.error(w, statusFor(err), fmt.Errorf("entry %d (after %d inserted): %w", i, len(ids), err))
+			s.error(w, statusFor(err), fmt.Errorf("after %d inserted: %w", len(ids), err))
 			return
 		}
-		ids = append(ids, id)
+	} else {
+		for i, e := range batch {
+			id := s.ix.Len()
+			if err := s.ix.Add(e.Vector, e.Time); err != nil {
+				// Report how far we got: earlier entries are committed
+				// (appends are not transactional).
+				s.metrics.inserts.Add(int64(len(ids)))
+				s.error(w, statusFor(err), fmt.Errorf("entry %d (after %d inserted): %w", i, len(ids), err))
+				return
+			}
+			ids = append(ids, id)
+		}
 	}
 	s.metrics.inserts.Add(int64(len(ids)))
 	resp := AddResponse{IDs: ids, Count: len(ids)}
@@ -194,6 +232,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Metric:     o.Metric.String(),
 		LeafSize:   o.LeafSize,
 	})
+}
+
+// handleCheckpoint serializes a snapshot covering every logged record
+// and prunes fully-covered WAL segments. Inserts block for the duration;
+// searches proceed.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.durable == nil {
+		s.error(w, http.StatusNotFound, errors.New("checkpointing requires the daemon to run with a WAL data dir (-data-dir)"))
+		return
+	}
+	info, err := s.durable.Checkpoint()
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

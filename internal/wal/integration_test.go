@@ -1,0 +1,160 @@
+package wal_test
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	tknn "repro"
+	"repro/internal/wal"
+)
+
+// Integration test against the real MBI index: *tknn.MBI satisfies
+// wal.Target directly, so this exercises the exact stack cmd/tknnd runs —
+// snapshot via persist.SaveMBI, restore via LoadMBI, replay through
+// MBI.Add — including a simulated SIGKILL (the Manager is abandoned
+// without Close) followed by a torn tail.
+
+const (
+	mbiDim    = 8
+	mbiRecLen = 8 + 12 + 4*mbiDim // framed record size at this dimension
+)
+
+func mbiRestore(opts tknn.MBIOptions) wal.RestoreFunc {
+	return func(snapshot io.Reader) (wal.Target, error) {
+		if snapshot == nil {
+			return tknn.NewMBI(opts)
+		}
+		return tknn.LoadMBI(snapshot, opts)
+	}
+}
+
+func mbiVec(rng *rand.Rand) []float32 {
+	v := make([]float32, mbiDim)
+	for i := range v {
+		v[i] = rng.Float32()
+	}
+	return v
+}
+
+func TestMBIRecoveryAfterKillAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := tknn.MBIOptions{Dim: mbiDim, LeafSize: 16}
+	cfg := wal.Config{Dir: dir, Sync: wal.SyncNever, SegmentBytes: 1 << 12}
+
+	const (
+		cpAt  = 120
+		total = 200
+	)
+	rng := rand.New(rand.NewSource(42))
+	vecs := make([][]float32, total)
+	for i := range vecs {
+		vecs[i] = mbiVec(rng)
+	}
+
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < cpAt; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := cpAt; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// SIGKILL: no Close, no final fsync. The page cache still holds the
+	// writes, exactly as it would for a killed process on the same host.
+
+	// Tear the active segment mid-record: its final record is cut in
+	// half, as a crash during that write would leave it.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing segments: %v (%d found)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if info.Size() < 16+mbiRecLen {
+		t.Fatalf("active segment holds no complete record (%d bytes)", info.Size())
+	}
+	cut := info.Size() - int64(mbiRecLen)/2
+	if err := os.Truncate(last, cut); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	want := total - 1 // only the torn record is gone
+
+	m2, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	ix, ok := m2.Index().(*tknn.MBI)
+	if !ok {
+		t.Fatalf("Index() is %T, want *tknn.MBI", m2.Index())
+	}
+	if got := ix.Len(); got != want {
+		t.Fatalf("recovered index holds %d vectors, want %d", got, want)
+	}
+	st := m2.Stats()
+	if got := st.Replayed; got != uint64(want-cpAt) {
+		t.Fatalf("replayed %d records, want only the post-checkpoint suffix %d", got, want-cpAt)
+	}
+	if !st.ReplayTruncated {
+		t.Fatal("stats should report the torn tail")
+	}
+
+	// Every recovered vector must be findable at its own timestamp with
+	// distance zero — byte-exact replay, not approximate recovery.
+	for _, i := range []int{0, cpAt - 1, cpAt, want - 1} {
+		res, err := ix.Search(tknn.Query{Vector: vecs[i], K: 1, Start: int64(i), End: int64(i) + 1})
+		if err != nil {
+			t.Fatalf("Search %d: %v", i, err)
+		}
+		if len(res) != 1 || res[0].Time != int64(i) || res[0].Dist != 0 {
+			t.Fatalf("vector %d not recovered exactly: %+v", i, res)
+		}
+	}
+
+	// The recovered manager keeps working: append, checkpoint, restart.
+	extra := mbiVec(rng)
+	if err := m2.Append(extra, int64(total)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if _, err := m2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m3, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer func() {
+		if err := m3.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if got := m3.Index().Len(); got != want+1 {
+		t.Fatalf("after checkpointed restart index holds %d vectors, want %d", got, want+1)
+	}
+	if st := m3.Stats(); st.Replayed != 0 {
+		t.Fatalf("replayed %d records after a fresh checkpoint, want 0", st.Replayed)
+	}
+}

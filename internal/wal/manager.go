@@ -1,0 +1,674 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Target is the index surface the Manager needs: the append it makes
+// durable, the snapshot it checkpoints, and the size it reports.
+// *tknn.MBI satisfies it directly; internal/core users wrap Append and
+// persist.SaveMBI in a three-line adapter.
+type Target interface {
+	// Add appends a timestamped vector. Rejections must be
+	// deterministic functions of the prior accepted state and the
+	// record (dimension mismatch, timestamp regression): replay relies
+	// on re-applying the log reproducing exactly the same accepts.
+	Add(v []float32, t int64) error
+	// Save writes a snapshot restorable by the RestoreFunc the Manager
+	// was opened with.
+	Save(w io.Writer) error
+	// Len reports the number of indexed vectors.
+	Len() int
+}
+
+// RestoreFunc builds the Target at startup. snapshot is nil when no
+// usable checkpoint exists (start empty); otherwise it reads a file
+// written by Target.Save. Open may call it more than once if a newer
+// snapshot turns out to be corrupt.
+type RestoreFunc func(snapshot io.Reader) (Target, error)
+
+// Config configures a Manager. Dir is required; zero values elsewhere get
+// defaults.
+type Config struct {
+	// Dir is the data directory holding segments and checkpoints.
+	Dir string
+	// Sync is the fsync policy. Default SyncInterval.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period for SyncInterval.
+	// Default 100ms.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment when it reaches this
+	// size. Default 64 MiB.
+	SegmentBytes int64
+	// CheckpointEvery triggers a background checkpoint after this many
+	// appended records. 0 disables automatic checkpointing (manual
+	// Checkpoint calls and the shutdown checkpoint still work).
+	CheckpointEvery int
+	// Logf, when set, receives replay/checkpoint progress and
+	// background-error messages (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Dir == "" {
+		return errors.New("wal: Config.Dir is required")
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 100 * time.Millisecond
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	if c.SegmentBytes < segHeaderLen+recHeaderLen+recPayloadMin {
+		return fmt.Errorf("wal: SegmentBytes %d cannot hold a single record", c.SegmentBytes)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("wal: CheckpointEvery must be non-negative, got %d", c.CheckpointEvery)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the Manager's counters.
+type Stats struct {
+	// Appended counts records logged by this process.
+	Appended uint64
+	// Fsyncs counts fsync syscalls issued on segment files.
+	Fsyncs uint64
+	// Checkpoints counts snapshots written by this process.
+	Checkpoints uint64
+	// Replayed / ReplaySkipped report the startup recovery: log records
+	// re-applied to the index and records it (deterministically)
+	// rejected.
+	Replayed      uint64
+	ReplaySkipped uint64
+	// ReplayTruncated reports whether startup found (and truncated) a
+	// torn tail.
+	ReplayTruncated bool
+	// NextSeq is the sequence number of the next record.
+	NextSeq uint64
+	// LastCheckpointSeq is the record count covered by the newest
+	// snapshot (0 when none exists).
+	LastCheckpointSeq uint64
+	// LastCheckpointTime is when that snapshot was written; zero when
+	// none exists.
+	LastCheckpointTime time.Time
+	// Segments and WALBytes describe the on-disk log.
+	Segments int
+	WALBytes int64
+}
+
+// CheckpointInfo reports one completed checkpoint.
+type CheckpointInfo struct {
+	// Seq is the WAL position the snapshot covers: records [0, Seq).
+	Seq uint64 `json:"seq"`
+	// Path is the snapshot file.
+	Path string `json:"path"`
+	// Bytes is the snapshot size.
+	Bytes int64 `json:"bytes"`
+	// Duration is how long serialization took.
+	Duration time.Duration `json:"duration"`
+	// SegmentsRemoved counts fully-covered segments deleted afterwards.
+	SegmentsRemoved int `json:"segmentsRemoved"`
+}
+
+// Manager makes a Target durable: every Add is logged (and, under
+// SyncAlways, fsynced) before it is applied, checkpoints bound replay
+// time, and Open reconstructs the exact acknowledged state after a crash.
+//
+// Append/AppendBatch are serialized internally and must anyway follow the
+// index's single-writer rule. Checkpoint blocks appends for the duration
+// of one snapshot serialization. Reads (searches) never touch the
+// Manager and proceed concurrently as before.
+type Manager struct {
+	cfg    Config
+	target Target
+
+	// mu guards the log state below and, critically, spans log+apply in
+	// Append so the log order always equals the apply order.
+	mu       sync.Mutex
+	seg      *segmentWriter
+	nextSeq  uint64
+	sinceCp  uint64
+	broken   error // first write/sync failure; poisons further appends
+	closed   bool
+	appended uint64
+	fsyncs   uint64
+
+	// cpMu serializes checkpoints and orders before mu.
+	cpMu        sync.Mutex
+	checkpoints uint64
+	lastCpSeq   uint64
+	lastCpTime  time.Time
+
+	replay ReplayStats
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	encBuf []byte
+}
+
+// Open recovers durable state from cfg.Dir and returns a running
+// Manager. It loads the newest checkpoint that restores cleanly (falling
+// back to the previous one if the newest is corrupt), replays the WAL
+// suffix through the restored Target, truncates any torn tail, and
+// resumes appending.
+func Open(cfg Config, restore RestoreFunc) (*Manager, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if restore == nil {
+		return nil, errors.New("wal: restore function is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+
+	target, cpSeq, cpTime, err := m.restoreCheckpoint(restore)
+	if err != nil {
+		return nil, err
+	}
+	m.target = target
+	m.lastCpSeq = cpSeq
+	m.lastCpTime = cpTime
+
+	stats, err := Replay(cfg.Dir, cpSeq, func(_ uint64, t int64, v []float32) error {
+		return target.Add(v, t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.replay = stats
+	m.nextSeq = stats.NextSeq
+	if stats.Records > 0 || stats.Truncated {
+		m.logf("wal: replayed %d records (%d rejected) from %d segments; index now holds %d vectors",
+			stats.Applied, stats.Skipped, stats.Segments, target.Len())
+	}
+	if stats.Truncated {
+		if err := truncateTorn(stats.TruncatedPath, stats.TruncatedAt, cfg.Dir); err != nil {
+			return nil, err
+		}
+		m.logf("wal: truncated torn tail of %s at byte %d", filepath.Base(stats.TruncatedPath), stats.TruncatedAt)
+	}
+	if err := m.openActiveSegment(); err != nil {
+		return nil, err
+	}
+
+	if cfg.Sync == SyncInterval {
+		m.wg.Add(1)
+		go m.syncLoop()
+	}
+	if cfg.CheckpointEvery > 0 {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
+	return m, nil
+}
+
+// restoreCheckpoint loads the newest snapshot that restores cleanly and
+// returns the target plus the WAL position the snapshot covers. With no
+// usable snapshot it restores fresh at position 0 — recovery then needs
+// the log to reach back to record 0, which Replay enforces.
+func (m *Manager) restoreCheckpoint(restore RestoreFunc) (Target, uint64, time.Time, error) {
+	cps, err := listCheckpoints(m.cfg.Dir)
+	if err != nil {
+		return nil, 0, time.Time{}, err
+	}
+	for _, cp := range cps {
+		target, err := restoreFromFile(restore, cp.path)
+		if err != nil {
+			m.logf("wal: checkpoint %s unusable (%v); trying an older one", filepath.Base(cp.path), err)
+			continue
+		}
+		mtime := time.Time{}
+		if info, err := os.Stat(cp.path); err == nil {
+			mtime = info.ModTime()
+		}
+		m.logf("wal: restored %d vectors from %s (covers %d log records)", target.Len(), filepath.Base(cp.path), cp.firstSeq)
+		return target, cp.firstSeq, mtime, nil
+	}
+	if len(cps) > 0 {
+		m.logf("wal: no checkpoint restored cleanly; rebuilding from the full log")
+	}
+	target, err := restore(nil)
+	if err != nil {
+		return nil, 0, time.Time{}, err
+	}
+	return target, 0, time.Time{}, nil
+}
+
+func restoreFromFile(restore RestoreFunc, path string) (Target, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	target, err := restore(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return target, err
+}
+
+// truncateTorn discards the torn tail Replay reported: chop the file to
+// its valid prefix, or delete it entirely when even the header is torn.
+func truncateTorn(path string, at int64, dir string) error {
+	if at <= segHeaderLen {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(at); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("wal: truncating %s: %v (and closing: %v)", path, err, cerr)
+		}
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("wal: syncing %s: %v (and closing: %v)", path, err, cerr)
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// openActiveSegment resumes appending: the last on-disk segment if it has
+// room, else a fresh one starting at nextSeq.
+func (m *Manager) openActiveSegment() error {
+	segs, err := listSegments(m.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	if n := len(segs); n > 0 && segs[n-1].size < m.cfg.SegmentBytes {
+		seg, err := openSegmentForAppend(segs[n-1])
+		if err != nil {
+			return err
+		}
+		m.seg = seg
+		return nil
+	}
+	seg, err := createSegment(m.cfg.Dir, m.nextSeq)
+	if err != nil {
+		return err
+	}
+	m.seg = seg
+	return nil
+}
+
+// Index returns the managed target.
+func (m *Manager) Index() Target { return m.target }
+
+// Append durably logs (v, t) and applies it to the index. Under
+// SyncAlways the record is fsynced before apply; the returned error is
+// the index's accept/reject decision (a reject is still logged, and
+// replay reproduces the rejection).
+func (m *Manager) Append(v []float32, t int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.logRecordLocked(v, t); err != nil {
+		return err
+	}
+	if err := m.syncPolicyLocked(); err != nil {
+		return err
+	}
+	err := m.target.Add(v, t)
+	m.maybeWakeCheckpointLocked()
+	return err
+}
+
+// AppendBatch logs and applies vs[i] at ts[i] in order, fsyncing once for
+// the whole batch under SyncAlways. On the first index rejection it stops:
+// earlier entries are committed, the rejected entry is logged-but-skipped
+// (as it will be again on replay), and later entries are untouched.
+func (m *Manager) AppendBatch(vs [][]float32, ts []int64) error {
+	if len(vs) != len(ts) {
+		return fmt.Errorf("wal: %d vectors but %d timestamps", len(vs), len(ts))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range vs {
+		if err := m.logRecordLocked(v, ts[i]); err != nil {
+			return err
+		}
+		if err := m.target.Add(v, ts[i]); err != nil {
+			if serr := m.syncPolicyLocked(); serr != nil {
+				return serr
+			}
+			m.maybeWakeCheckpointLocked()
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	if err := m.syncPolicyLocked(); err != nil {
+		return err
+	}
+	m.maybeWakeCheckpointLocked()
+	return nil
+}
+
+// logRecordLocked writes one framed record, rotating segments at the size
+// threshold. A write failure poisons the Manager: the log tail is in an
+// unknown state, so no further appends are accepted (reads and restart
+// recovery remain safe — the torn tail truncates on the next Open).
+func (m *Manager) logRecordLocked(v []float32, t int64) error {
+	if m.closed {
+		return errors.New("wal: manager is closed")
+	}
+	if m.broken != nil {
+		return fmt.Errorf("wal: log is poisoned by an earlier write error: %w", m.broken)
+	}
+	if m.seg.size >= m.cfg.SegmentBytes {
+		if err := m.rotateLocked(); err != nil {
+			m.broken = err
+			return err
+		}
+	}
+	m.encBuf = encodeRecord(m.encBuf[:0], t, v)
+	if err := m.seg.write(m.encBuf); err != nil {
+		m.broken = err
+		return err
+	}
+	m.nextSeq++
+	m.appended++
+	m.sinceCp++
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one at nextSeq.
+func (m *Manager) rotateLocked() error {
+	if m.seg.dirty {
+		m.fsyncs++
+	}
+	if err := m.seg.seal(); err != nil {
+		return err
+	}
+	seg, err := createSegment(m.cfg.Dir, m.nextSeq)
+	if err != nil {
+		return err
+	}
+	m.seg = seg
+	return nil
+}
+
+// syncPolicyLocked applies the per-append fsync decision.
+func (m *Manager) syncPolicyLocked() error {
+	if m.cfg.Sync != SyncAlways {
+		return nil
+	}
+	return m.syncSegLocked()
+}
+
+func (m *Manager) syncSegLocked() error {
+	synced, err := m.seg.sync()
+	if err != nil {
+		m.broken = err
+		return err
+	}
+	if synced {
+		m.fsyncs++
+	}
+	return nil
+}
+
+func (m *Manager) maybeWakeCheckpointLocked() {
+	if m.cfg.CheckpointEvery > 0 && m.sinceCp >= uint64(m.cfg.CheckpointEvery) {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Sync forces an fsync of the active segment, regardless of policy.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("wal: manager is closed")
+	}
+	return m.syncSegLocked()
+}
+
+// Checkpoint serializes a snapshot covering every record logged so far,
+// then deletes fully-covered segments and checkpoints older than the
+// retained two. Appends are blocked while the snapshot serializes (the
+// index cannot be saved concurrently with writes); searches proceed.
+//
+// The newest two checkpoints are kept, together with the segments needed
+// to replay from the older of them — so a corrupt newest snapshot still
+// recovers exactly via the previous one plus a longer replay.
+func (m *Manager) Checkpoint() (CheckpointInfo, error) {
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return CheckpointInfo{}, errors.New("wal: manager is closed")
+	}
+	if m.broken != nil {
+		return CheckpointInfo{}, fmt.Errorf("wal: log is poisoned by an earlier write error: %w", m.broken)
+	}
+
+	start := now()
+	seq := m.nextSeq
+	// Rotate first so the active segment begins exactly at the covered
+	// position: after cleanup, replay reads only the post-checkpoint
+	// suffix. An empty just-created segment already starts at seq.
+	if m.seg.firstSeq < seq {
+		if err := m.rotateLocked(); err != nil {
+			m.broken = err
+			return CheckpointInfo{}, err
+		}
+	}
+
+	path := filepath.Join(m.cfg.Dir, checkpointName(seq))
+	n, err := writeSnapshot(m.cfg.Dir, path, m.target)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	m.sinceCp = 0
+	m.checkpoints++
+	m.lastCpSeq = seq
+	m.lastCpTime = now()
+
+	removed, err := m.cleanupLocked()
+	if err != nil {
+		// The checkpoint itself succeeded; surplus files only cost
+		// disk. Report but do not fail.
+		m.logf("wal: cleanup after checkpoint: %v", err)
+	}
+	info := CheckpointInfo{Seq: seq, Path: path, Bytes: n, Duration: now().Sub(start), SegmentsRemoved: removed}
+	m.logf("wal: checkpoint %s: %d vectors, %d bytes in %v (%d segments removed)",
+		filepath.Base(path), m.target.Len(), n, info.Duration.Round(time.Millisecond), removed)
+	return info, nil
+}
+
+// writeSnapshot saves the target to a temp file, fsyncs, and renames into
+// place so a crash never leaves a torn snapshot under the final name.
+func writeSnapshot(dir, path string, target Target) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cleanup := func(err error) (int64, error) {
+		// Best-effort removal; the write error is the actionable one.
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	if err := target.Save(f); err != nil {
+		return cleanup(err)
+	}
+	n, err := f.Seek(0, 2) // io.SeekEnd: snapshot size
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	return n, syncDir(dir)
+}
+
+// cleanupLocked deletes checkpoints beyond the newest two and every
+// sealed segment fully covered by the older retained checkpoint.
+func (m *Manager) cleanupLocked() (int, error) {
+	cps, err := listCheckpoints(m.cfg.Dir)
+	if err != nil {
+		return 0, err
+	}
+	const retain = 2
+	for _, cp := range cps[minInt(retain, len(cps)):] {
+		if err := os.Remove(cp.path); err != nil {
+			return 0, err
+		}
+	}
+	// safeSeq: recovery may start from the oldest retained checkpoint,
+	// so only segments wholly below it are garbage.
+	safeSeq := m.lastCpSeq
+	if len(cps) >= retain {
+		safeSeq = cps[retain-1].firstSeq
+	}
+	segs, err := listSegments(m.cfg.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, seg := range segs {
+		if i+1 >= len(segs) || segs[i+1].firstSeq > safeSeq {
+			break // not fully covered (or the active segment)
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 || len(cps) > retain {
+		return removed, syncDir(m.cfg.Dir)
+	}
+	return removed, nil
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (m *Manager) syncLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			m.mu.Lock()
+			if !m.closed && m.broken == nil {
+				if err := m.syncSegLocked(); err != nil {
+					m.logf("wal: background fsync: %v", err)
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// checkpointLoop runs automatic checkpoints when the append path signals
+// the record threshold.
+func (m *Manager) checkpointLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-m.wake:
+			if _, err := m.Checkpoint(); err != nil {
+				m.logf("wal: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background goroutines and seals the active segment
+// with a final fsync. It does not checkpoint; call Checkpoint first for
+// an instant next startup. Close is idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if already {
+		return nil
+	}
+
+	close(m.done)
+	m.wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seg.dirty {
+		m.fsyncs++
+	}
+	return m.seg.seal()
+}
+
+// Stats returns a snapshot of the Manager's counters plus the on-disk log
+// shape.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Appended:        m.appended,
+		Fsyncs:          m.fsyncs,
+		Replayed:        m.replay.Applied,
+		ReplaySkipped:   m.replay.Skipped,
+		ReplayTruncated: m.replay.Truncated,
+		NextSeq:         m.nextSeq,
+	}
+	m.mu.Unlock()
+	m.cpMu.Lock()
+	s.Checkpoints = m.checkpoints
+	s.LastCheckpointSeq = m.lastCpSeq
+	s.LastCheckpointTime = m.lastCpTime
+	m.cpMu.Unlock()
+	if segs, err := listSegments(m.cfg.Dir); err == nil {
+		s.Segments = len(segs)
+		for _, seg := range segs {
+			s.WALBytes += seg.size
+		}
+	}
+	return s
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReplayStats reports what Replay did.
+type ReplayStats struct {
+	// Segments is the number of segment files actually read (fully
+	// covered segments are skipped without opening them).
+	Segments int
+	// Records is the number of CRC-valid records at or past fromSeq.
+	Records uint64
+	// Applied counts records the callback accepted.
+	Applied uint64
+	// Skipped counts records the callback rejected. Rejections must be
+	// deterministic (e.g. a timestamp-order violation the index also
+	// rejected when the record was first logged), so skipping them
+	// reproduces the original apply sequence exactly.
+	Skipped uint64
+	// Covered counts records decoded but below fromSeq (already
+	// contained in the snapshot the caller restored).
+	Covered uint64
+	// NextSeq is the sequence number the next appended record should
+	// carry: fromSeq plus every record seen at or past it.
+	NextSeq uint64
+	// Truncated reports a torn tail: the final segment ended in a
+	// partial or corrupt record, presumed a crash mid-write.
+	Truncated bool
+	// TruncatedPath is the torn segment's path (when Truncated).
+	TruncatedPath string
+	// TruncatedAt is the byte offset of the valid prefix of the torn
+	// segment: everything at or past it must be discarded. An offset at
+	// or below the segment header length means the whole file is
+	// unusable (torn during creation) and should be deleted.
+	TruncatedAt int64
+}
+
+// Replay reads every log record with sequence number >= fromSeq, in
+// order, invoking apply for each. Segments wholly below fromSeq are
+// skipped unread. A torn tail in the final segment ends the replay and is
+// reported through the stats; corruption anywhere else — a bad record in
+// a sealed segment, a sequence gap between segments — is an error,
+// because acknowledged data would otherwise silently vanish.
+//
+// Replay does not modify any file; callers that intend to append
+// afterwards must first truncate the torn tail it reports (Manager does).
+func Replay(dir string, fromSeq uint64, apply func(seq uint64, t int64, v []float32) error) (ReplayStats, error) {
+	var stats ReplayStats
+	stats.NextSeq = fromSeq
+	segs, err := listSegments(dir)
+	if err != nil {
+		return stats, err
+	}
+	if len(segs) == 0 {
+		return stats, nil
+	}
+	if segs[0].firstSeq > fromSeq {
+		return stats, fmt.Errorf("wal: log begins at record %d but replay needs record %d: covering segments were deleted",
+			segs[0].firstSeq, fromSeq)
+	}
+
+	seq := segs[0].firstSeq
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if seg.firstSeq != seq {
+			return stats, fmt.Errorf("wal: segment %s starts at record %d, want %d: log has a gap", seg.path, seg.firstSeq, seq)
+		}
+		// A sealed segment whose successor starts at or below fromSeq
+		// holds only covered records; skip it without reading.
+		if !last && segs[i+1].firstSeq <= fromSeq {
+			seq = segs[i+1].firstSeq
+			continue
+		}
+		end, err := replaySegment(seg, last, fromSeq, &seq, &stats, apply)
+		if err != nil {
+			return stats, err
+		}
+		if stats.Truncated {
+			stats.TruncatedPath = seg.path
+			stats.TruncatedAt = end
+			if !last {
+				// Can't happen from replaySegment (it only sets
+				// Truncated on the last segment), but keep the
+				// invariant obvious.
+				return stats, fmt.Errorf("wal: torn record inside sealed segment %s", seg.path)
+			}
+			break
+		}
+	}
+	stats.NextSeq = seq
+	return stats, nil
+}
+
+// replaySegment scans one segment, advancing *seq per record. It returns
+// the byte offset after the last valid record. Torn or corrupt data is an
+// error in sealed segments and a reported truncation in the final one.
+func replaySegment(seg segmentFile, last bool, fromSeq uint64, seq *uint64, stats *ReplayStats, apply func(seq uint64, t int64, v []float32) error) (int64, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		// Read-only handle; the scan error (if any) is the one that
+		// matters.
+		_ = f.Close()
+	}()
+	stats.Segments++
+
+	corrupt := func(off int64, format string, args ...any) (int64, error) {
+		if last {
+			stats.Truncated = true
+			return off, nil
+		}
+		return off, fmt.Errorf("wal: sealed segment %s corrupt at offset %d: %s", seg.path, off, fmt.Sprintf(format, args...))
+	}
+
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return corrupt(0, "short header: %v", err)
+	}
+	if m := order.Uint32(hdr[0:]); m != segMagic {
+		return corrupt(0, "bad magic %#x", m)
+	}
+	if v := order.Uint32(hdr[4:]); v != segVersion {
+		return 0, fmt.Errorf("wal: segment %s has unsupported version %d", seg.path, v)
+	}
+	if s := order.Uint64(hdr[8:]); s != seg.firstSeq {
+		return 0, fmt.Errorf("wal: segment %s header says first record %d, name says %d", seg.path, s, seg.firstSeq)
+	}
+
+	off := int64(segHeaderLen)
+	var rec [recHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			if err == io.EOF {
+				return off, nil // clean end of segment
+			}
+			return corrupt(off, "partial record header: %v", err)
+		}
+		payloadLen := int(order.Uint32(rec[0:]))
+		wantCRC := order.Uint32(rec[4:])
+		if payloadLen < recPayloadMin || payloadLen > maxRecordBytes {
+			return corrupt(off, "implausible record length %d", payloadLen)
+		}
+		if cap(payload) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return corrupt(off, "partial record payload: %v", err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return corrupt(off, "record checksum %#x, want %#x", got, wantCRC)
+		}
+		t, v, err := decodePayload(payload)
+		if err != nil {
+			return corrupt(off, "%v", err)
+		}
+		recSeq := *seq
+		*seq++
+		off += int64(recHeaderLen + payloadLen)
+		if recSeq < fromSeq {
+			stats.Covered++
+			continue
+		}
+		stats.Records++
+		if err := apply(recSeq, t, v); err != nil {
+			stats.Skipped++
+		} else {
+			stats.Applied++
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package wal implements durable ingestion for time-accumulating vector
+// indexes: an append-only segmented write-ahead log of (timestamp, vector)
+// records, a crash-tolerant replayer, and a Manager that layers
+// log-before-apply ingestion, background checkpointing, and startup
+// recovery over any index satisfying the small Target interface.
+//
+// The problem it solves: the indexes in this repository persist only via
+// whole-index snapshots, so a crash loses every vector appended since the
+// last save. With a WAL, every acknowledged append is on disk before the
+// index applies it; on restart the Manager loads the latest valid
+// snapshot and replays the log suffix, reconstructing exactly the set of
+// acknowledged appends.
+//
+// On-disk layout (all integers little-endian):
+//
+//	<dir>/wal-<firstSeq>.seg        log segments, named by the sequence
+//	                                number of their first record
+//	<dir>/checkpoint-<seq>.snap     index snapshots covering records [0, seq)
+//
+// Segment format:
+//
+//	header:  magic uint32 | version uint32 | firstSeq uint64      (16 bytes)
+//	record:  payloadLen uint32 | crc32c(payload) uint32 | payload
+//	payload: timestamp int64 | dim uint32 | dim * float32
+//
+// Records are individually CRC-framed so the replayer can tell a torn
+// tail (a crash mid-write: the log simply ends early) from mid-log
+// corruption (bit rot inside a sealed region: recovery must not silently
+// drop acknowledged data). Torn tails are truncated; mid-log corruption
+// is a hard error.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SyncPolicy controls when the log fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append/AppendBatch returns: an
+	// acknowledged append survives power loss. Slowest.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Config.SyncInterval):
+	// a crash loses at most one interval of acknowledged appends to
+	// power loss, nothing to a process kill (the OS has the writes).
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache. A process kill
+	// still loses nothing; power loss can lose unflushed appends.
+	SyncNever
+)
+
+// String returns the policy name used by ParseSyncPolicy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "always", "interval", or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Format constants.
+const (
+	segMagic   = uint32(0x5457414c) // "TWAL"
+	segVersion = uint32(1)
+
+	segHeaderLen = 16
+	recHeaderLen = 8
+	// recPayloadMin is a record with a zero-dimensional vector.
+	recPayloadMin = 12
+	// maxRecordBytes bounds a record payload; lengths beyond it are
+	// treated as corruption rather than allocated.
+	maxRecordBytes = 1 << 26
+
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	cpPrefix  = "checkpoint-"
+	cpSuffix  = ".snap"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var order = binary.LittleEndian
+
+// segmentName returns the file name of the segment whose first record has
+// the given sequence number.
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+// checkpointName returns the file name of the snapshot covering records
+// [0, seq).
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%020d%s", cpPrefix, seq, cpSuffix)
+}
+
+// parseSeqName extracts the sequence number from a segment or checkpoint
+// file name.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) == 0 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segmentFile describes one on-disk segment.
+type segmentFile struct {
+	path     string
+	firstSeq uint64
+	size     int64
+}
+
+// listSegments returns the directory's segments sorted by first sequence
+// number.
+func listSegments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSeqName(e.Name(), segPrefix, segSuffix)
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, segmentFile{path: filepath.Join(dir, e.Name()), firstSeq: seq, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstSeq == segs[i-1].firstSeq {
+			return nil, fmt.Errorf("wal: duplicate segments for record %d (%s, %s)",
+				segs[i].firstSeq, filepath.Base(segs[i-1].path), filepath.Base(segs[i].path))
+		}
+	}
+	return segs, nil
+}
+
+// listCheckpoints returns the directory's snapshot files sorted newest
+// (highest covered sequence) first.
+func listCheckpoints(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cps []segmentFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		seq, ok := parseSeqName(e.Name(), cpPrefix, cpSuffix)
+		if !ok {
+			continue
+		}
+		cps = append(cps, segmentFile{path: filepath.Join(dir, e.Name()), firstSeq: seq})
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].firstSeq > cps[j].firstSeq })
+	return cps, nil
+}
+
+// encodeRecord appends the framed record for (t, v) to buf and returns
+// the extended slice.
+func encodeRecord(buf []byte, t int64, v []float32) []byte {
+	payloadLen := recPayloadMin + 4*len(v)
+	need := recHeaderLen + payloadLen
+	start := len(buf)
+	for cap(buf)-start < need {
+		buf = append(buf[:cap(buf)], 0)
+	}
+	buf = buf[:start+need]
+	payload := buf[start+recHeaderLen:]
+	order.PutUint64(payload[0:], uint64(t))
+	order.PutUint32(payload[8:], uint32(len(v)))
+	for i, x := range v {
+		order.PutUint32(payload[12+4*i:], math.Float32bits(x))
+	}
+	order.PutUint32(buf[start:], uint32(payloadLen))
+	order.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodePayload parses a CRC-validated record payload.
+func decodePayload(payload []byte) (int64, []float32, error) {
+	if len(payload) < recPayloadMin {
+		return 0, nil, fmt.Errorf("wal: record payload too short (%d bytes)", len(payload))
+	}
+	t := int64(order.Uint64(payload[0:]))
+	dim := int(order.Uint32(payload[8:]))
+	if len(payload) != recPayloadMin+4*dim {
+		return 0, nil, fmt.Errorf("wal: record claims %d dimensions in %d payload bytes", dim, len(payload))
+	}
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = math.Float32frombits(order.Uint32(payload[12+4*i:]))
+	}
+	return t, v, nil
+}
+
+// segmentWriter appends framed records to one open segment file.
+type segmentWriter struct {
+	f        *os.File
+	path     string
+	firstSeq uint64
+	size     int64
+	dirty    bool // bytes written since the last fsync
+}
+
+// createSegment creates a new segment whose first record will carry seq.
+// The header is written and fsynced immediately (and the directory entry
+// synced) so a later torn tail can never be confused with a torn header.
+func createSegment(dir string, seq uint64) (*segmentWriter, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segHeaderLen]byte
+	order.PutUint32(hdr[0:], segMagic)
+	order.PutUint32(hdr[4:], segVersion)
+	order.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		closeAndRemove(f, path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		closeAndRemove(f, path)
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		closeAndRemove(f, path)
+		return nil, err
+	}
+	return &segmentWriter{f: f, path: path, firstSeq: seq, size: segHeaderLen}, nil
+}
+
+// openSegmentForAppend reopens an existing (possibly tail-truncated)
+// segment to continue appending at its end.
+func openSegmentForAppend(seg segmentFile) (*segmentWriter, error) {
+	f, err := os.OpenFile(seg.path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Seek(0, 2) // io.SeekEnd
+	if err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("wal: seeking %s: %v (and closing: %v)", seg.path, err, cerr)
+		}
+		return nil, err
+	}
+	return &segmentWriter{f: f, path: seg.path, firstSeq: seg.firstSeq, size: size}, nil
+}
+
+// write appends raw framed-record bytes.
+func (w *segmentWriter) write(rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	w.size += int64(len(rec))
+	w.dirty = true
+	return nil
+}
+
+// sync fsyncs the segment if it has unsynced writes, reporting whether a
+// syscall was issued.
+func (w *segmentWriter) sync() (bool, error) {
+	if !w.dirty {
+		return false, nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return false, err
+	}
+	w.dirty = false
+	return true, nil
+}
+
+// seal fsyncs and closes the segment.
+func (w *segmentWriter) seal() error {
+	if _, err := w.sync(); err != nil {
+		if cerr := w.f.Close(); cerr != nil {
+			return fmt.Errorf("wal: syncing %s: %v (and closing: %v)", w.path, err, cerr)
+		}
+		return err
+	}
+	return w.f.Close()
+}
+
+// closeAndRemove is best-effort cleanup on a failed segment creation; the
+// original error is the one the caller reports.
+func closeAndRemove(f *os.File, path string) {
+	_ = f.Close()
+	_ = os.Remove(path)
+}
+
+// syncDir fsyncs a directory so entry creations/renames/removals are
+// durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("wal: syncing dir %s: %v (and closing: %v)", dir, err, cerr)
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// now is stubbed in tests that pin checkpoint ages.
+var now = time.Now

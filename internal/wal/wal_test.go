@@ -1,0 +1,538 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// memTarget is a minimal Target: an append-only list of (t, v) records
+// with the same deterministic rejections as the real indexes (dimension
+// mismatch, timestamp regression).
+type memTarget struct {
+	dim   int
+	times []int64
+	vecs  [][]float32
+}
+
+func newMemTarget(dim int) *memTarget { return &memTarget{dim: dim} }
+
+func (m *memTarget) Add(v []float32, t int64) error {
+	if len(v) != m.dim {
+		return fmt.Errorf("mem: got %d dims, want %d", len(v), m.dim)
+	}
+	if n := len(m.times); n > 0 && t < m.times[n-1] {
+		return fmt.Errorf("mem: timestamp %d precedes %d", t, m.times[n-1])
+	}
+	m.times = append(m.times, t)
+	m.vecs = append(m.vecs, append([]float32(nil), v...))
+	return nil
+}
+
+func (m *memTarget) Len() int { return len(m.times) }
+
+// Save serializes with the same CRC framing the WAL uses; memRestore
+// verifies it, mirroring the checksum footer the real persist loaders
+// enforce.
+func (m *memTarget) Save(w io.Writer) error {
+	var buf []byte
+	for i := range m.times {
+		buf = encodeRecord(buf[:0], m.times[i], m.vecs[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func memRestore(dim int) RestoreFunc {
+	return func(snapshot io.Reader) (Target, error) {
+		t := newMemTarget(dim)
+		if snapshot == nil {
+			return t, nil
+		}
+		raw, err := io.ReadAll(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		for len(raw) > 0 {
+			if len(raw) < recHeaderLen {
+				return nil, fmt.Errorf("mem: torn snapshot record header")
+			}
+			n := int(order.Uint32(raw[0:]))
+			if len(raw) < recHeaderLen+n {
+				return nil, fmt.Errorf("mem: torn snapshot record")
+			}
+			payload := raw[recHeaderLen : recHeaderLen+n]
+			if crc32.Checksum(payload, castagnoli) != order.Uint32(raw[4:]) {
+				return nil, fmt.Errorf("mem: snapshot record checksum mismatch")
+			}
+			ts, v, err := decodePayload(payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.Add(v, ts); err != nil {
+				return nil, err
+			}
+			raw = raw[recHeaderLen+n:]
+		}
+		return t, nil
+	}
+}
+
+// testVec returns a deterministic vector for record i.
+func testVec(dim, i int) []float32 {
+	v := make([]float32, dim)
+	for j := range v {
+		v[j] = float32(i*dim + j)
+	}
+	return v
+}
+
+func openTestManager(t *testing.T, dir string, cfg Config) (*Manager, *memTarget) {
+	t.Helper()
+	cfg.Dir = dir
+	if cfg.Sync == SyncInterval {
+		cfg.SyncInterval = time.Millisecond
+	}
+	m, err := Open(cfg, memRestore(4))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m, m.Index().(*memTarget)
+}
+
+func appendN(t *testing.T, m *Manager, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := m.Append(testVec(4, i), int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func assertRecords(t *testing.T, tgt *memTarget, n int) {
+	t.Helper()
+	if tgt.Len() != n {
+		t.Fatalf("target holds %d records, want %d", tgt.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if tgt.times[i] != int64(i) {
+			t.Fatalf("record %d has timestamp %d", i, tgt.times[i])
+		}
+		want := testVec(4, i)
+		for j, x := range tgt.vecs[i] {
+			if x != want[j] {
+				t.Fatalf("record %d coordinate %d = %g, want %g", i, j, x, want[j])
+			}
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParseSyncPolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %v", s, p)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestAppendCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways})
+	appendN(t, m, 0, 25)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, tgt := openTestManager(t, dir, Config{Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt, 25)
+	st := m2.Stats()
+	if st.Replayed != 25 || st.NextSeq != 25 {
+		t.Fatalf("stats = %+v, want 25 replayed, nextSeq 25", st)
+	}
+	// And keep appending after recovery.
+	appendN(t, m2, 25, 30)
+	assertRecords(t, tgt, 30)
+}
+
+func TestAppendBatchMatchesLoop(t *testing.T) {
+	dir := t.TempDir()
+	m, tgt := openTestManager(t, dir, Config{Sync: SyncAlways})
+	var vs [][]float32
+	var ts []int64
+	for i := 0; i < 10; i++ {
+		vs = append(vs, testVec(4, i))
+		ts = append(ts, int64(i))
+	}
+	if err := m.AppendBatch(vs, ts); err != nil {
+		t.Fatal(err)
+	}
+	assertRecords(t, tgt, 10)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, tgt2 := openTestManager(t, dir, Config{Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt2, 10)
+}
+
+func TestRejectedAppendIsReplayedAsRejected(t *testing.T) {
+	dir := t.TempDir()
+	m, tgt := openTestManager(t, dir, Config{Sync: SyncAlways})
+	appendN(t, m, 0, 5)
+	// Timestamp regression: logged, rejected, acknowledged as an error.
+	if err := m.Append(testVec(4, 99), 1); err == nil {
+		t.Fatal("expected rejection for regressing timestamp")
+	}
+	appendN(t, m, 5, 8)
+	assertRecords(t, tgt, 8)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, tgt2 := openTestManager(t, dir, Config{Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt2, 8)
+	st := m2.Stats()
+	if st.ReplaySkipped != 1 {
+		t.Fatalf("ReplaySkipped = %d, want 1 (the rejected record)", st.ReplaySkipped)
+	}
+	if st.NextSeq != 9 {
+		t.Fatalf("NextSeq = %d, want 9 (rejections still consume sequence numbers)", st.NextSeq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Each record is 8 + 12 + 16 = 36 bytes; rotate every ~4 records.
+	m, _ := openTestManager(t, dir, Config{Sync: SyncNever, SegmentBytes: segHeaderLen + 4*36})
+	appendN(t, m, 0, 20)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 4 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	m2, tgt := openTestManager(t, dir, Config{Sync: SyncNever})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt, 20)
+}
+
+func TestCheckpointCoversPrefixAndPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways, SegmentBytes: segHeaderLen + 4*36})
+	appendN(t, m, 0, 17)
+	info, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 17 {
+		t.Fatalf("checkpoint seq = %d, want 17", info.Seq)
+	}
+	if _, err := os.Stat(info.Path); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	appendN(t, m, 17, 23)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, tgt := openTestManager(t, dir, Config{Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt, 23)
+	st := m2.Stats()
+	// The acceptance criterion: replay after a checkpoint reads only the
+	// WAL suffix.
+	if st.Replayed != 6 {
+		t.Fatalf("replayed %d records, want only the 6 past the checkpoint", st.Replayed)
+	}
+	if st.LastCheckpointSeq != 17 {
+		t.Fatalf("LastCheckpointSeq = %d, want 17", st.LastCheckpointSeq)
+	}
+}
+
+func TestCheckpointRetainsTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways, SegmentBytes: segHeaderLen + 4*36})
+	for round := 0; round < 4; round++ {
+		appendN(t, m, round*10, (round+1)*10)
+		if _, err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2", len(cps))
+	}
+	if cps[0].firstSeq != 40 || cps[1].firstSeq != 30 {
+		t.Fatalf("retained checkpoints at %d and %d, want 40 and 30", cps[0].firstSeq, cps[1].firstSeq)
+	}
+	// Segments below the older retained checkpoint must be gone, and the
+	// surviving log must still reach back to it.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].firstSeq > 30 {
+		t.Fatalf("log no longer covers the older retained checkpoint: first segment at %d", segs[0].firstSeq)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest snapshot: recovery must fall back to the older
+	// one and still reconstruct everything exactly.
+	corruptFile(t, cps[0].path, 3)
+	m2, tgt := openTestManager(t, dir, Config{Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	assertRecords(t, tgt, 40)
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncNever, CheckpointEvery: 10})
+	appendN(t, m, 0, 35)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := m.Stats(); st.Checkpoints >= 1 && st.LastCheckpointSeq >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint after 35 appends with CheckpointEvery=10: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSyncCountsFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncInterval})
+	appendN(t, m, 0, 5)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background fsync never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways})
+	appendN(t, m, 0, 7)
+	st := m.Stats()
+	if st.Appended != 7 {
+		t.Fatalf("Appended = %d, want 7", st.Appended)
+	}
+	if st.Fsyncs < 7 {
+		t.Fatalf("Fsyncs = %d, want >= 7 under SyncAlways", st.Fsyncs)
+	}
+	if st.Segments != 1 || st.WALBytes <= segHeaderLen {
+		t.Fatalf("on-disk shape = %d segments, %d bytes", st.Segments, st.WALBytes)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayGapIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways, SegmentBytes: segHeaderLen + 4*36})
+	appendN(t, m, 0, 12)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Deleting a middle segment leaves a sequence gap.
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}, memRestore(4)); err == nil {
+		t.Fatal("expected Open to fail on a log gap")
+	}
+}
+
+func TestMidLogCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways, SegmentBytes: segHeaderLen + 4*36})
+	appendN(t, m, 0, 12)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside a sealed (non-final) segment.
+	corruptFile(t, segs[0].path, segHeaderLen+recHeaderLen+2)
+	if _, err := Open(Config{Dir: dir}, memRestore(4)); err == nil {
+		t.Fatal("expected Open to fail on mid-log corruption")
+	}
+}
+
+func TestAllCheckpointsCorruptFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncAlways})
+	appendN(t, m, 0, 10)
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, m, 10, 15)
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range cps {
+		corruptFile(t, cp.path, 5)
+	}
+	// Both snapshots are garbage and the log no longer reaches record 0
+	// (the first checkpoint pruned it): recovery must fail, not silently
+	// return a partial index.
+	if _, err := Open(Config{Dir: dir}, memRestore(4)); err == nil {
+		t.Fatal("expected Open to fail when no checkpoint loads and the log is pruned")
+	}
+}
+
+func TestPoisonedAfterWriteError(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := openTestManager(t, dir, Config{Sync: SyncNever})
+	appendN(t, m, 0, 3)
+	// Close the segment file behind the manager's back to force a write
+	// error.
+	m.mu.Lock()
+	if err := m.seg.f.Close(); err != nil {
+		m.mu.Unlock()
+		t.Fatal(err)
+	}
+	m.mu.Unlock()
+	if err := m.Append(testVec(4, 3), 3); err == nil {
+		t.Fatal("expected write error")
+	}
+	if err := m.Append(testVec(4, 4), 4); err == nil {
+		t.Fatal("expected poisoned log to reject further appends")
+	}
+	if _, err := m.Checkpoint(); err == nil {
+		t.Fatal("expected poisoned log to reject checkpoints")
+	}
+}
+
+// corruptFile XORs the byte at offset (clamped into range) with 0xFF.
+func corruptFile(t *testing.T, path string, offset int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatalf("cannot corrupt empty file %s", path)
+	}
+	if offset >= int64(len(raw)) {
+		offset = int64(len(raw)) - 1
+	}
+	raw[offset] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeRoundTrip covers the record codec directly, including
+// NaN/Inf payloads which must survive bit-exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		dim := rng.Intn(16)
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		ts := rng.Int63() - rng.Int63()
+		rec := encodeRecord(nil, ts, v)
+		payload := rec[recHeaderLen:]
+		if int(order.Uint32(rec[0:])) != len(payload) {
+			t.Fatal("length prefix mismatch")
+		}
+		gotT, gotV, err := decodePayload(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotT != ts || len(gotV) != dim {
+			t.Fatalf("round trip (%d, %d dims) -> (%d, %d dims)", ts, dim, gotT, len(gotV))
+		}
+		for i := range v {
+			if !bytes.Equal(float32Bytes(v[i]), float32Bytes(gotV[i])) {
+				t.Fatalf("coordinate %d changed: %g -> %g", i, v[i], gotV[i])
+			}
+		}
+	}
+}
+
+func float32Bytes(x float32) []byte {
+	var b [4]byte
+	order.PutUint32(b[:], math.Float32bits(x))
+	return b[:]
+}
