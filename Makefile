@@ -6,14 +6,16 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/
+RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/
 
-.PHONY: check fmt vet build test race lint recover
+.PHONY: check fmt vet build test race lint invariants recover
 
-check: fmt vet build test race lint recover
+check: fmt vet build test race lint invariants recover
 
+# The tknnlint corpus under cmd/tknnlint/testdata is lint-rule input, not
+# repository code; its formatting is frozen with its goldens.
 fmt:
-	@out=$$(gofmt -l .); \
+	@out=$$(find . -name '*.go' -not -path './cmd/tknnlint/testdata/*' -print0 | xargs -0 gofmt -l); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
@@ -32,6 +34,12 @@ race:
 
 lint:
 	$(GO) run ./cmd/tknnlint ./...
+
+# Deep-validation build: the whole suite with runtime invariant assertions
+# compiled in (internal/invariant), including the differential oracle
+# sweep in internal/oracle.
+invariants:
+	$(GO) test -tags tknn_invariants ./...
 
 # Crash-recovery gate: the kill-at-random-offset and torn-tail tests with
 # fresh state (-count=1), then the whole WAL package under the race

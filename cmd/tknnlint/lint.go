@@ -10,13 +10,18 @@ import (
 )
 
 // Diagnostic is one lint finding. File is relative to the module root so
-// output is stable regardless of the invocation directory.
+// output is stable regardless of the invocation directory. Suppressed
+// findings (covered by a //lint:ignore directive) are retained rather than
+// dropped: text output and the exit code ignore them, but -json reports
+// them with "suppressed": true so CI artifacts record every accepted
+// exception alongside the active findings.
 type Diagnostic struct {
-	File string `json:"file"`
-	Line int    `json:"line"`
-	Col  int    `json:"col"`
-	Rule string `json:"rule"`
-	Msg  string `json:"message"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Msg        string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 func (d Diagnostic) String() string {
@@ -31,6 +36,9 @@ var ruleCatalog = []struct{ Name, Doc string }{
 	{ruleRand, "library packages (root package, internal/...) must not call top-level math/rand functions; thread a seeded *rand.Rand for reproducible builds"},
 	{ruleLock, "exported methods must hold the mutex that guards the fields they touch, and Lock/Unlock pairs that span branches must use defer"},
 	{ruleErr, "cmd/ and internal/server must not discard error returns from io/os/net/encoding calls"},
+	{ruleCopylock, "values that contain sync or atomic synchronization primitives must not be copied: by-value receivers, parameters, and range variables carrying them are flagged"},
+	{ruleGoroutine, "library goroutines must carry a completion signal (channel op, select, close, or WaitGroup Done/Add/Wait) in their body; a goroutine with none can never be joined and leaks"},
+	{ruleInvariant, "calls into internal/invariant must sit inside an `if invariant.Enabled` guard so their arguments are never evaluated in default builds"},
 }
 
 // linter runs the rule set over a module and accumulates diagnostics.
@@ -40,9 +48,9 @@ type linter struct {
 }
 
 // Lint type-checks nothing itself — it walks the already-loaded module and
-// applies every rule to each package accepted by match, then filters out
+// applies every rule to each package accepted by match, then marks
 // findings suppressed by //lint:ignore comments. Diagnostics come back
-// sorted by file, line, column.
+// sorted by file, line, column; use active to drop the suppressed ones.
 func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
 	l := &linter{mod: mod}
 	for _, pkg := range mod.Pkgs {
@@ -53,8 +61,11 @@ func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
 		l.checkGlobalRand(pkg)
 		l.checkLockDiscipline(pkg)
 		l.checkUncheckedErrors(pkg)
+		l.checkCopylock(pkg)
+		l.checkGoroutineLeak(pkg)
+		l.checkInvariantGate(pkg)
 	}
-	diags := suppress(mod, l.diags)
+	diags := markSuppressed(mod, l.diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -87,10 +98,24 @@ func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
 	})
 }
 
-// suppress drops diagnostics covered by a `//lint:ignore <rules> [reason]`
-// comment on the same line or the line directly above. <rules> is a
-// comma-separated list of rule names.
-func suppress(mod *Module, diags []Diagnostic) []Diagnostic {
+// active filters diags down to the findings not covered by a
+// //lint:ignore directive — the set that drives text output and the exit
+// code.
+func active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// markSuppressed flags diagnostics covered by a `//lint:ignore <rules>
+// [reason]` comment on the same line or the line directly above. <rules>
+// is a comma-separated list of rule names. Suppressed findings stay in the
+// slice so -json can report them.
+func markSuppressed(mod *Module, diags []Diagnostic) []Diagnostic {
 	// ignores[file][line] holds the rules ignored at that line.
 	ignores := map[string]map[int]map[string]bool{}
 	for _, pkg := range mod.Pkgs {
@@ -119,15 +144,13 @@ func suppress(mod *Module, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
-	var kept []Diagnostic
-	for _, d := range diags {
+	for i, d := range diags {
 		lines := ignores[d.File]
 		if lines != nil && (lines[d.Line][d.Rule] || lines[d.Line-1][d.Rule]) {
-			continue
+			diags[i].Suppressed = true
 		}
-		kept = append(kept, d)
 	}
-	return kept
+	return diags
 }
 
 // parseIgnore recognizes `//lint:ignore rule1,rule2 reason...` and returns

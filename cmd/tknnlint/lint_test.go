@@ -26,9 +26,12 @@ func caseDiags(t *testing.T, dir string) []Diagnostic {
 	return Lint(mod, match)
 }
 
+// render formats the active findings the way the CLI's text mode does;
+// suppressed findings are invisible here, exactly as they are to a user
+// running tknnlint without -json.
 func render(diags []Diagnostic) string {
 	var b strings.Builder
-	for _, d := range diags {
+	for _, d := range active(diags) {
 		b.WriteString(d.String())
 		b.WriteByte('\n')
 	}
@@ -81,11 +84,14 @@ func TestCaseShape(t *testing.T) {
 		{dir: "globalrand", rule: ruleRand, minHits: 4},
 		{dir: "lockdiscipline", rule: ruleLock, minHits: 3},
 		{dir: "uncheckederr", rule: ruleErr, minHits: 4},
+		{dir: "copylock", rule: ruleCopylock, minHits: 4},
+		{dir: "goroutineleak", rule: ruleGoroutine, minHits: 3},
+		{dir: "invariantgate", rule: ruleInvariant, minHits: 2},
 		{dir: "clean", wantNone: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
-			diags := caseDiags(t, filepath.Join("testdata", "src", tc.dir))
+			diags := active(caseDiags(t, filepath.Join("testdata", "src", tc.dir)))
 			if tc.wantNone {
 				if len(diags) != 0 {
 					t.Fatalf("expected no findings, got:\n%s", render(diags))
@@ -117,6 +123,9 @@ func TestSuppression(t *testing.T) {
 		{dir: "globalrand", file: "internal/sampler/sampler.go", banned: "Float32", present: "Intn"},
 		{dir: "lockdiscipline", file: "internal/reg/reg.go", banned: "Reset", present: "Peek"},
 		{dir: "uncheckederr", file: "cmd/tool/main.go", banned: "also-ignored", present: "Remove"},
+		{dir: "copylock", file: "internal/pool/pool.go", banned: "Snapshot", present: "Reset"},
+		{dir: "goroutineleak", file: "internal/worker/worker.go", banned: "daemonLoop", present: "spin"},
+		{dir: "invariantgate", file: "internal/tree/tree.go", banned: "Checkf", present: "Check"},
 	}
 	for _, c := range checks {
 		t.Run(c.dir, func(t *testing.T) {
@@ -132,8 +141,11 @@ func TestSuppression(t *testing.T) {
 }
 
 // TestRepoIsClean is the gate the CI lint step enforces: the repository
-// itself must lint clean. Loading the whole module costs a few seconds of
-// std-lib type checking, so it is skipped in -short mode.
+// itself must have no active findings. Suppressed findings are allowed —
+// each is a reviewed //lint:ignore with a reason — and -json reports them,
+// so the test asserts every reported finding is marked suppressed.
+// Loading the whole module costs a few seconds of std-lib type checking,
+// so it is skipped in -short mode.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module load in -short mode")
@@ -147,8 +159,10 @@ func TestRepoIsClean(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
 	}
-	if len(diags) != 0 {
-		t.Errorf("expected an empty JSON array, got %d findings", len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("active finding in the repository: %s", d)
+		}
 	}
 }
 
@@ -179,6 +193,47 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if code := run([]string{"./no/such/dir/..."}, &stdout, &stderr); code != 2 {
 		t.Errorf("pattern matching no packages: want exit 2, got %d", code)
+	}
+}
+
+// TestJSONSuppressionStatus pins the -json contract on a corpus module
+// that has both kinds of finding: every diagnostic appears, suppressed
+// ones flagged as such, and the exit code reflects only the active set.
+func TestJSONSuppressionStatus(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := os.Chdir(filepath.Join("testdata", "src", "copylock")); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("module with active findings: want exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	activeN, suppressedN := 0, 0
+	for _, d := range diags {
+		if d.Rule != ruleCopylock {
+			t.Errorf("unexpected rule %s: %s", d.Rule, d)
+		}
+		if d.Suppressed {
+			suppressedN++
+		} else {
+			activeN++
+		}
+	}
+	if activeN == 0 || suppressedN == 0 {
+		t.Errorf("want both active and suppressed findings in JSON, got %d active / %d suppressed:\n%s",
+			activeN, suppressedN, stdout.String())
 	}
 }
 

@@ -3,12 +3,14 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -206,6 +208,12 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, error
 		if perr != nil {
 			return nil, perr
 		}
+		if !buildSatisfied(f) {
+			// Constrained out of the default build (e.g. the tknn_invariants
+			// Enabled=true half of internal/invariant). Type checking both
+			// halves of a tag pair would be a duplicate declaration.
+			continue
+		}
 		pp.pkg.Files = append(pp.pkg.Files, f)
 		pp.pkg.FileNames = append(pp.pkg.FileNames, full)
 		for _, spec := range f.Imports {
@@ -215,7 +223,50 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, error
 			}
 		}
 	}
+	if len(pp.pkg.Files) == 0 {
+		return nil, nil
+	}
 	return pp, nil
+}
+
+// buildSatisfied reports whether f survives build-constraint filtering
+// under the default configuration: host GOOS/GOARCH, the gc compiler, all
+// go1.x version tags satisfied, and no custom tags set — so files gated on
+// tags like tknn_invariants or race are skipped, exactly as `go build`
+// without -tags would skip them.
+func buildSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(defaultTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// defaultTag is the build-tag oracle for buildSatisfied.
+func defaultTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // topoSort orders packages so every module-internal dependency precedes

@@ -17,11 +17,23 @@
 //	                  they touch; branchy Lock/Unlock pairs use defer
 //	unchecked-errors  cmd/ and internal/server check io/os/net/encoding
 //	                  errors
+//	copylock          no by-value receivers, parameters, or range
+//	                  variables carrying sync/atomic primitives
+//	goroutine-leak    library goroutines carry a completion signal
+//	                  (channel op, select, close, WaitGroup method)
+//	invariant-gate    internal/invariant calls sit inside an
+//	                  `if invariant.Enabled` guard
 //
 // Any finding can be suppressed, one site at a time, with a trailing or
 // preceding comment:
 //
 //	//lint:ignore <rule>[,<rule>...] reason for the exception
+//
+// Text output and the exit status consider only active findings. -json
+// emits every finding, suppressed ones included, each object carrying
+// file/line/col, the rule name, the message, and "suppressed" — so a CI
+// artifact of the JSON output records the accepted exceptions too. The
+// exit status is 1 exactly when active findings exist, in both modes.
 //
 // The analyzer is built on go/parser and go/types alone — the module has
 // no dependencies, and the linter keeps it that way.
@@ -86,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := Lint(mod, match)
+	act := active(diags)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -98,13 +111,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range act {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(act) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "tknnlint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "tknnlint: %d finding(s)\n", len(act))
 		}
 		return 1
 	}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule copylock.
+//
+// A sync.Mutex copied by value is two independent mutexes that the code
+// believes are one: the copy starts unlocked no matter what the original
+// holds, so the critical section it "guards" races silently. The same is
+// true of every sync and sync/atomic value type. `go vet` flags copies at
+// assignment and call sites; this rule closes the declaration-side gaps
+// the repository has actually been bitten by in review — a method on a
+// lock-bearing struct declared with a value receiver (every call copies),
+// a parameter that takes the struct by value, and a range variable that
+// copies lock-bearing elements out of a slice or array each iteration.
+//
+// The check is transitive: a struct is lock-bearing when any field, at
+// any depth, is one of the sync primitives or an atomic value type. Types
+// reached only through a pointer, slice, map, channel, or interface are
+// fine — those share the original.
+const ruleCopylock = "copylock"
+
+func (l *linter) checkCopylock(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				l.copylockFields(pkg, fd.Recv, "receiver of "+fd.Name.Name)
+			}
+			if fd.Type.Params != nil {
+				l.copylockFields(pkg, fd.Type.Params, "parameter of "+fd.Name.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				id, ok := e.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if lock := lockInType(obj.Type()); lock != "" {
+					l.report(id.Pos(), ruleCopylock,
+						"range variable %s copies %s each iteration; range over indices (or a slice of pointers) instead", id.Name, lock)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copylockFields reports every by-value field of a receiver or parameter
+// list whose type transitively contains a synchronization primitive.
+func (l *linter) copylockFields(pkg *Package, fields *ast.FieldList, what string) {
+	for _, field := range fields.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		lock := lockInType(tv.Type)
+		if lock == "" {
+			continue
+		}
+		names := "_"
+		if len(field.Names) > 0 {
+			names = field.Names[0].Name
+		}
+		l.report(field.Pos(), ruleCopylock,
+			"%s %s is passed by value but contains %s; take a pointer so the primitive is shared, not copied", what, names, lock)
+	}
+}
+
+// lockInType returns the name of the first synchronization primitive the
+// type contains by value ("" when it contains none). Pointers, slices,
+// maps, channels, and interfaces stop the walk: what they reference is
+// shared, not copied.
+func lockInType(t types.Type) string {
+	return lockInTypeSeen(t, map[types.Type]bool{})
+}
+
+func lockInTypeSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if name := syncPrimitive(named); name != "" {
+			return name
+		}
+		return lockInTypeSeen(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInTypeSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInTypeSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// syncPrimitive names the sync / sync/atomic value types that must never
+// be copied once used.
+func syncPrimitive(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+			return "sync." + obj.Name()
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+			return "atomic." + obj.Name()
+		}
+	}
+	return ""
+}

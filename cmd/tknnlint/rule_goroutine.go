@@ -1,0 +1,120 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Rule goroutine-leak.
+//
+// Every long-lived goroutine in the library follows one shape: it drains
+// a channel (the merge worker ranges over its job queue), selects on a
+// done channel (the WAL sync and checkpoint loops), or announces
+// completion through a WaitGroup (the parallel build and ground-truth
+// workers). A goroutine with none of those can never be joined — Close
+// returns while it still runs, tests pass while it still holds the index
+// alive, and under -race its late reads fire after teardown. That exact
+// leak is why wal.Manager grew its done channel.
+//
+// The rule flags `go` statements whose callee body contains no join
+// signal: no channel send or receive, no select, no range over a channel,
+// no close, and no WaitGroup-style Done/Add/Wait call. Only callees the
+// package can see are judged — a function literal or a same-package
+// function/method; cross-package and dynamic callees are skipped rather
+// than guessed at. Like no-global-rand, the rule covers library code
+// (root package and internal/...): a binary's goroutines die with the
+// process, a library's outlive their caller's interest.
+const ruleGoroutine = "goroutine-leak"
+
+func (l *linter) checkGoroutineLeak(pkg *Package) {
+	if pkg.Rel != "" && !strings.HasPrefix(pkg.Rel, "internal/") {
+		return // library packages only: root package and internal/...
+	}
+	// Same-package callees, resolvable through Uses: functions and
+	// methods alike.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			name := "function literal"
+			switch fun := unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if fd := decls[pkg.Info.Uses[fun]]; fd != nil {
+					body, name = fd.Body, fun.Name
+				}
+			case *ast.SelectorExpr:
+				if fd := decls[pkg.Info.Uses[fun.Sel]]; fd != nil {
+					body, name = fd.Body, fun.Sel.Name
+				}
+			}
+			if body == nil {
+				return true // cross-package or dynamic callee: not analyzable here
+			}
+			if !hasJoinSignal(pkg, body) {
+				l.report(gs.Pos(), ruleGoroutine,
+					"goroutine %s has no completion signal (channel op, select, close, or WaitGroup Done/Add/Wait) and can never be joined; signal when it finishes or give it a done channel", name)
+			}
+			return true
+		})
+	}
+}
+
+// hasJoinSignal reports whether the body contains any construct through
+// which the goroutine's completion can be observed or driven. Nested
+// function literals count: a worker that defers a closure calling Done
+// still signals.
+func hasJoinSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := unparen(x.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && pkg.Info.Uses[fun] == types.Universe.Lookup("close") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Done", "Add", "Wait":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

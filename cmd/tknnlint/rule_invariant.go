@@ -1,0 +1,122 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Rule invariant-gate.
+//
+// internal/invariant compiles to no-ops in default builds, but only the
+// call is free — its arguments are not. `invariant.NoError(ix.Validate(),
+// ...)` at top level runs the full O(n) validator in every production
+// build even though the result is discarded. The repository's contract is
+// therefore that every call into the invariant package sits inside an
+//
+//	if invariant.Enabled { ... }
+//
+// block: Enabled is a constant, so the whole guarded body — argument
+// evaluation included — is dead-code-eliminated when the tknn_invariants
+// tag is off. This rule flags invariant-package calls outside such a
+// guard.
+//
+// The guard test is positional: a call is gated when it sits inside the
+// body of any if statement whose condition mentions the package's Enabled
+// constant. The invariant package itself is exempt (its helpers branch on
+// Enabled internally — that is where the fast path lives), and files
+// tagged tknn_invariants never reach the rule because the loader skips
+// files whose build constraints default-build excludes.
+const ruleInvariant = "invariant-gate"
+
+func (l *linter) checkInvariantGate(pkg *Package) {
+	if pkg.Rel == "internal/invariant" {
+		return
+	}
+	for _, f := range pkg.Files {
+		// Guarded regions: bodies of ifs whose condition reads Enabled.
+		type span struct{ lo, hi token.Pos }
+		var guarded []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			if condReadsEnabled(pkg, ifs.Cond) {
+				guarded = append(guarded, span{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return true
+		})
+		inGuard := func(p token.Pos) bool {
+			for _, s := range guarded {
+				if p >= s.lo && p < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName := invariantPkgIdent(pkg, sel.X)
+			if pkgName == "" {
+				return true
+			}
+			// Only function calls: conversions like invariant.Violation(x)
+			// carry no hidden cost.
+			if _, ok := pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+				return true
+			}
+			if inGuard(call.Pos()) {
+				return true
+			}
+			l.report(call.Pos(), ruleInvariant,
+				"%s.%s call outside an `if %s.Enabled` guard: its arguments are evaluated even in default builds where the check is a no-op",
+				pkgName, sel.Sel.Name, pkgName)
+			return true
+		})
+	}
+}
+
+// condReadsEnabled reports whether the condition expression mentions the
+// invariant package's Enabled constant.
+func condReadsEnabled(pkg *Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Enabled" {
+			return true
+		}
+		if invariantPkgIdent(pkg, sel.X) != "" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// invariantPkgIdent resolves e to an imported package named by an
+// internal/invariant path and returns its local name ("" otherwise).
+func invariantPkgIdent(pkg *Package, e ast.Expr) string {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	path := pn.Imported().Path()
+	if path == "internal/invariant" || strings.HasSuffix(path, "/internal/invariant") {
+		return id.Name
+	}
+	return ""
+}

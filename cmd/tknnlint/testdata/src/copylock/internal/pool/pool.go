@@ -1,0 +1,86 @@
+// Package pool exercises the copylock rule: by-value receivers,
+// parameters, and range variables that carry synchronization primitives.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf guards its data with an embedded mutex; copying a Buf copies the
+// mutex.
+type Buf struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// Len has a value receiver: every call copies mu. Firing case.
+func (b Buf) Len() int {
+	return len(b.data)
+}
+
+// Reset takes the lock-bearing struct by value. Firing case.
+func Reset(b Buf) {
+	b.data = b.data[:0]
+}
+
+// Total copies each lock-bearing element into the range variable. Firing
+// case.
+func Total(bufs []Buf) int {
+	n := 0
+	for _, b := range bufs {
+		n += len(b.data)
+	}
+	return n
+}
+
+// stats buries an atomic counter one struct deep, so the containment
+// check must be transitive.
+type stats struct {
+	hits atomic.Int64
+}
+
+// tracked embeds stats by value.
+type tracked struct {
+	s    stats
+	name string
+}
+
+// Describe receives the transitively lock-bearing struct by value. Firing
+// case.
+func Describe(t tracked) string {
+	return t.name
+}
+
+// Snapshot is the accepted exception: the copy is taken before the value
+// is ever shared, so the primitive inside has never been used.
+//
+//lint:ignore copylock copy happens before first use; the zero mutex is safe to duplicate
+func Snapshot(b Buf) []byte {
+	return append([]byte(nil), b.data...)
+}
+
+// Grow takes a pointer, the clean shape.
+func Grow(b *Buf, n int) {
+	b.mu.Lock()
+	b.data = append(b.data, make([]byte, n)...)
+	b.mu.Unlock()
+}
+
+// Sum ranges over indices, the clean shape for lock-bearing slices.
+func Sum(bufs []Buf) int {
+	n := 0
+	for i := range bufs {
+		n += len(bufs[i].data)
+	}
+	return n
+}
+
+// Names ranges over a slice of plain values: no primitive, no finding.
+func Names(ts []string) int {
+	n := 0
+	for _, s := range ts {
+		n += len(s)
+	}
+	return n
+}

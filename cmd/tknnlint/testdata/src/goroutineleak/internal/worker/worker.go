@@ -1,0 +1,96 @@
+// Package worker exercises the goroutine-leak rule: goroutines whose
+// bodies carry no completion signal.
+package worker
+
+import "sync"
+
+// Watch spins a literal with no join signal of any kind. Firing case.
+func Watch(poll func() bool) {
+	go func() {
+		for {
+			if poll() {
+				return
+			}
+		}
+	}()
+}
+
+// spin runs its work list forever; nothing outside can observe it stop.
+func spin(fns []func()) {
+	for {
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}
+
+// RunAll leaks through a named same-package callee. Firing case.
+func RunAll(fns []func()) {
+	go spin(fns)
+}
+
+// Logger retries its flush forever.
+type Logger struct {
+	lines []string
+	flush func([]string) error
+}
+
+func (lg *Logger) loop() {
+	for {
+		if err := lg.flush(lg.lines); err == nil {
+			lg.lines = lg.lines[:0]
+		}
+	}
+}
+
+// Start leaks through a method callee. Firing case.
+func Start(lg *Logger) {
+	go lg.loop()
+}
+
+// daemonLoop ticks forever; there is deliberately no way to stop it.
+func daemonLoop(tick func()) {
+	for {
+		tick()
+	}
+}
+
+// Daemon is the accepted exception: a process-lifetime goroutine that is
+// meant to die with the binary.
+func Daemon(tick func()) {
+	//lint:ignore goroutine-leak process-lifetime daemon; dies with the binary by design
+	go daemonLoop(tick)
+}
+
+// FanOut joins through a WaitGroup. Clean case.
+func FanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Consume drains a channel: it stops when the producer closes. Clean
+// case.
+func Consume(jobs chan int, apply func(int)) {
+	go func() {
+		for j := range jobs {
+			apply(j)
+		}
+	}()
+}
+
+// Notify signals completion on a done channel. Clean case.
+func Notify(run func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		run()
+		close(done)
+	}()
+	return done
+}

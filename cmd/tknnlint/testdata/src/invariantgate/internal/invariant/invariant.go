@@ -1,0 +1,39 @@
+// Package invariant mirrors the repository's assertion layer: helpers
+// that branch on a build-selected Enabled constant. The invariant-gate
+// rule must not fire inside this package — the internal !Enabled fast
+// path is exactly where the helpers are allowed to mention themselves.
+package invariant
+
+import "fmt"
+
+// Enabled selects the checking build; the corpus pins it off.
+const Enabled = false
+
+// Violation is a failed assertion.
+type Violation struct{ Msg string }
+
+func (v Violation) Error() string { return "invariant violated: " + v.Msg }
+
+// Check panics when cond is false in a checking build.
+func Check(cond bool, msg string) {
+	if !Enabled || cond {
+		return
+	}
+	panic(Violation{Msg: msg})
+}
+
+// Checkf is Check with a formatted message.
+func Checkf(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	panic(Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// NoError panics when err is non-nil in a checking build.
+func NoError(err error, context string) {
+	if !Enabled || err == nil {
+		return
+	}
+	panic(Violation{Msg: context + ": " + err.Error()})
+}

@@ -1,0 +1,67 @@
+// Package tree exercises the invariant-gate rule: assertion calls whose
+// arguments are evaluated in default builds because the call sits outside
+// an `if invariant.Enabled` guard.
+package tree
+
+import (
+	"fmt"
+
+	"lintcase/internal/invariant"
+)
+
+// Node is a size-annotated binary tree node.
+type Node struct {
+	Left, Right *Node
+	Size        int
+}
+
+func (n *Node) validate() error {
+	if n == nil {
+		return nil
+	}
+	want := 1
+	for _, c := range []*Node{n.Left, n.Right} {
+		if c != nil {
+			if err := c.validate(); err != nil {
+				return err
+			}
+			want += c.Size
+		}
+	}
+	if n.Size != want {
+		return fmt.Errorf("tree: node size %d, subtree has %d", n.Size, want)
+	}
+	return nil
+}
+
+// Insert runs the full validator unguarded: the O(n) walk happens in
+// every production build. Firing case.
+func Insert(n *Node) {
+	n.Size++
+	invariant.NoError(n.validate(), "tree: after insert")
+}
+
+// Remove guards correctly: Enabled is constant-false here, so the whole
+// block is eliminated. Clean case.
+func Remove(n *Node) {
+	n.Size--
+	if invariant.Enabled {
+		invariant.NoError(n.validate(), "tree: after remove")
+	}
+}
+
+// Rotate mixes the shapes: the first assertion is naked (firing case),
+// the second sits under a compound Enabled condition (clean case).
+func Rotate(n *Node) {
+	invariant.Check(n.Size >= 0, "tree: size non-negative")
+	if invariant.Enabled && n.Left != nil {
+		invariant.Check(n.Left.Size < n.Size, "tree: left subtree smaller")
+	}
+}
+
+// Balance is the accepted exception: the argument is a plain field
+// comparison, cheap enough to tolerate unguarded.
+func Balance(n *Node) {
+	//lint:ignore invariant-gate argument is one integer comparison; guard would be noise
+	invariant.Checkf(n.Size >= 0, "tree: balance precondition, size %d", n.Size)
+}

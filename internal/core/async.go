@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/vec"
 )
 
@@ -90,6 +91,9 @@ func (ix *Index) processSeal(job sealJob) {
 	merged := len(cascade) - 1
 	ix.forest = ix.forest[:len(ix.forest)-merged]
 	ix.forest = append(ix.forest, base+len(cascade)-1)
+	if invariant.Enabled {
+		invariant.NoError(ix.checkInvariantsLocked(), "mbi: after async block install")
+	}
 	ix.mu.Unlock()
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/bsbf"
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -311,18 +312,28 @@ func (ix *Index) sealLeafLocked() {
 	ix.forest = ix.forest[:len(ix.forest)-merged]
 	ix.forest = append(ix.forest, base+len(cascade)-1)
 	ix.openLo = n
+
+	if invariant.Enabled {
+		invariant.NoError(ix.checkInvariantsLocked(), "mbi: after synchronous seal cascade")
+	}
 }
 
 // blockWindowLocked returns the time window [ts, te) of the global range
-// [lo, hi): ts is its earliest timestamp, te the exclusive upper bound —
-// the timestamp of the first vector after the range, or lastTime+1 when
-// the range ends the database (§4.3's B_c.t_s / B_c.t_e). Caller holds mu.
+// [lo, hi): ts is its earliest timestamp, te the exclusive upper bound
+// (§4.3's B_c.t_s / B_c.t_e). te must be large enough that every vector in
+// the range satisfies t < te — when the range's last timestamp repeats past
+// hi, the timestamp of the first vector after the range would exclude the
+// range's own tail, so te is max(times[hi-1]+1, times[hi]). Windows of
+// adjacent blocks may then overlap at a duplicated boundary timestamp;
+// selection handles the resulting double-coverage by clipping each block's
+// scan to the query window. Caller holds mu.
 func (ix *Index) blockWindowLocked(lo, hi int) (int64, int64) {
 	ts := ix.times[lo]
-	if hi < len(ix.times) {
-		return ts, ix.times[hi]
+	te := ix.times[hi-1] + 1
+	if hi < len(ix.times) && ix.times[hi] > te {
+		te = ix.times[hi]
 	}
-	return ts, ix.times[len(ix.times)-1] + 1
+	return ts, te
 }
 
 // selection is one block chosen by top-down block selection; openLeaf
@@ -432,6 +443,9 @@ func (ix *Index) SearchTau(q []float32, k int, ts, te int64, tau float64, p grap
 	}
 
 	sel := ix.selectBlocksLocked(ts, te, tau)
+	if invariant.Enabled {
+		invariant.NoError(ix.validateSelectionLocked(sel, ts, te), "mbi: block selection")
+	}
 	if len(sel) == 0 {
 		return nil
 	}

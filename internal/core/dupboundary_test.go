@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bsbf"
+	"repro/internal/nndescent"
+)
+
+// TestSelectionCoversDuplicateBoundary pins block selection's coverage
+// property when duplicate timestamps span a sealed-block boundary: every
+// vector inside the query window must be covered by some selected range.
+// A block's time window used to be the half-open [times[lo], times[hi]),
+// which excludes the block's own trailing vectors when times[hi-1] ==
+// times[hi] — a window starting exactly at that timestamp then missed them.
+func TestSelectionCoversDuplicateBoundary(t *testing.T) {
+	ix, err := New(Options{
+		Dim:      4,
+		LeafSize: 2,
+		Tau:      0.5,
+		Builder:  nndescent.MustNew(nndescent.DefaultConfig(4)),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// times: 0, 5 | 5, 5  — vector 1 (t=5) is the tail of leaf 0, and
+	// leaf 1 starts at the same timestamp.
+	times := []int64{0, 5, 5, 5}
+	for i, tm := range times {
+		v := []float32{float32(i), 0, 0, 0}
+		if err := ix.Append(v, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window [5, 6) holds vectors 1, 2, 3.
+	lo, hi := bsbf.WindowOf(times, 5, 6)
+	t.Logf("ground-truth window rows: [%d, %d)", lo, hi)
+	ranges := ix.SelectedRanges(5, 6, 0.5)
+	t.Logf("selected ranges: %v", ranges)
+	for i := lo; i < hi; i++ {
+		covered := false
+		for _, r := range ranges {
+			if i >= r[0] && i < r[1] {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("in-window vector %d not covered by selection %v", i, ranges)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bsbf"
+)
+
+// validateSelectionLocked checks the correctness contract of top-down
+// block selection (Algorithm 4) for the window [ts, te):
+//
+//  1. Every selected range is a valid, non-empty slice of the database.
+//  2. The ranges are emitted in timestamp order and are pairwise disjoint
+//     in row space — a vector searched twice would double its weight in
+//     the merge and signal overlapping block windows.
+//  3. The union of the ranges covers every vector whose timestamp falls in
+//     the window: selection may over-approximate (τ admits blocks that
+//     spill past the window; the per-block time filter trims them) but
+//     must never drop an in-window vector, or recall silently decays.
+//
+// Callers hold mu (read suffices) and wrap the call in an
+// invariant.Enabled guard; the coverage scan is O(window size).
+func (ix *Index) validateSelectionLocked(sel []selection, ts, te int64) error {
+	n := ix.store.Len()
+	for i, s := range sel {
+		if s.lo < 0 || s.hi > n || s.lo >= s.hi {
+			return fmt.Errorf("mbi: selection %d has range [%d,%d) outside [0,%d)", i, s.lo, s.hi, n)
+		}
+		if i > 0 && s.lo < sel[i-1].hi {
+			return fmt.Errorf("mbi: selections %d and %d overlap: [%d,%d) then [%d,%d)",
+				i-1, i, sel[i-1].lo, sel[i-1].hi, s.lo, s.hi)
+		}
+	}
+	lo, hi := bsbf.WindowOf(ix.times, ts, te)
+	cur := lo
+	for _, s := range sel {
+		if s.hi <= cur {
+			continue
+		}
+		if s.lo > cur {
+			break // gap at cur: reported below
+		}
+		cur = s.hi
+		if cur >= hi {
+			break
+		}
+	}
+	if cur < hi {
+		return fmt.Errorf("mbi: selection misses in-window vector %d (t=%d, window [%d,%d))",
+			cur, ix.times[cur], ts, te)
+	}
+	return nil
+}

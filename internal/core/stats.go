@@ -71,7 +71,13 @@ func (ix *Index) Stats() Stats {
 func (ix *Index) CheckInvariants() error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.checkInvariantsLocked()
+}
 
+// checkInvariantsLocked is CheckInvariants for callers already holding mu
+// (read or write) — sealLeafLocked and the async install step run it under
+// the invariant gate while still inside their write-lock critical section.
+func (ix *Index) checkInvariantsLocked() error {
 	n := ix.store.Len()
 	if len(ix.times) != n {
 		return fmt.Errorf("mbi: %d timestamps for %d vectors", len(ix.times), n)

@@ -91,6 +91,19 @@ func (g *CSR) Validate() error {
 	return nil
 }
 
+// ValidateDegree checks that every node's out-degree is at most maxDeg.
+// Builders call it (under the invariant gate) on their raw output before
+// EnsureConnected, which may legitimately push a few bridge endpoints past
+// the construction cap.
+func (g *CSR) ValidateDegree(maxDeg int) error {
+	for i := 0; i < g.NumNodes(); i++ {
+		if d := int(g.Off[i+1] - g.Off[i]); d > maxDeg {
+			return fmt.Errorf("graph: node %d has out-degree %d, cap %d", i, d, maxDeg)
+		}
+	}
+	return nil
+}
+
 // Builder constructs a proximity graph over the vectors of a view.
 // Implementations must be safe for concurrent use by multiple goroutines —
 // MBI's bottom-up block merging builds sibling blocks in parallel with the

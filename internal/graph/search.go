@@ -3,6 +3,7 @@ package graph
 import (
 	"math/rand"
 
+	"repro/internal/invariant"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -107,7 +108,18 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 			s.frontier.TrimTo(p.MC)
 		}
 	}
-	return result.Items()
+	out := result.Items()
+	if invariant.Enabled {
+		for i, nb := range out {
+			invariant.Checkf(nb.ID >= 0 && int(nb.ID) < n,
+				"graph: Search result %d has id %d outside [0,%d)", i, nb.ID, n)
+			invariant.Checkf(filter == nil || filter(nb.ID),
+				"graph: Search result %d (id %d) fails the time filter", i, nb.ID)
+			invariant.Checkf(i == 0 || !theap.Less(out[i], out[i-1]),
+				"graph: Search results not ascending at %d", i)
+		}
+	}
+	return out
 }
 
 // RandomEntry picks a uniform entry node for a graph with n nodes.

@@ -1,0 +1,8 @@
+//go:build !tknn_invariants
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// Default builds have it off: every `if invariant.Enabled { ... }` block
+// is dead code the compiler deletes, so assertions cost nothing.
+const Enabled = false

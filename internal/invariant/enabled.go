@@ -1,0 +1,8 @@
+//go:build tknn_invariants
+
+package invariant
+
+// Enabled reports whether runtime invariant checking is compiled in.
+// This build (tag tknn_invariants) has it on: guarded assertions run and
+// panic with a Violation on failure.
+const Enabled = true

@@ -1,0 +1,73 @@
+// Package invariant is the repository's zero-cost-when-off runtime
+// assertion layer. The MBI query path is only correct if a stack of
+// structural invariants holds — the block tree stays a perfect binary tree
+// with time-covering leaves, τ block selection returns disjoint ranges that
+// cover the query window, CSR adjacency stays in-bounds, the top-k heap
+// keeps its ordering, WAL sequence numbers stay monotone — and none of
+// that is visible to the compiler. This package lets the hot data
+// structures state those invariants inline and have them checked in
+// dedicated CI runs while costing nothing in production builds.
+//
+// Enabled is a build-tag-selected constant: false by default, true under
+// `-tags tknn_invariants` (`make invariants` / the CI "invariants" job).
+// Every call site must be guarded so the compiler can delete the whole
+// check when the tag is off:
+//
+//	if invariant.Enabled {
+//		invariant.NoError(ix.checkInvariantsLocked(), "mbi: after seal cascade")
+//	}
+//
+// The guard is not a style preference — an unguarded call still evaluates
+// its arguments (often an O(n) Validate walk) in production builds. The
+// tknnlint rule `invariant-gate` enforces the discipline: calls into this
+// package outside an `invariant.Enabled` guard (or a file gated on the
+// `tknn_invariants` build tag) are lint errors.
+//
+// A failed assertion panics with a Violation rather than returning an
+// error: an invariant violation means the data structure is already
+// corrupt, and unwinding to the test (or crashing the invariant-enabled
+// binary) with the precise broken property is the entire point.
+package invariant
+
+import "fmt"
+
+// Violation is the panic value raised by a failed assertion. Tests can
+// recover it to assert that a specific invariant trips.
+type Violation struct {
+	// Msg describes the violated invariant.
+	Msg string
+}
+
+// Error makes a Violation usable as an error after recover().
+func (v Violation) Error() string { return "invariant violated: " + v.Msg }
+
+// Check panics with a Violation carrying msg when cond is false.
+// It is a no-op when Enabled is false, but call sites must still guard
+// with Enabled so argument evaluation compiles away too.
+func Check(cond bool, msg string) {
+	if !Enabled || cond {
+		return
+	}
+	panic(Violation{Msg: msg})
+}
+
+// Checkf is Check with a formatted message. The format arguments are only
+// evaluated on failure paths inside an Enabled guard, so wrapping Checkf
+// calls in `if invariant.Enabled` keeps them free in normal builds.
+func Checkf(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	panic(Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// NoError panics with a Violation when err is non-nil, prefixing it with
+// context. It is the bridge between the deep per-package Validate()
+// methods (which return errors so tests and deserializers can use them
+// unconditionally) and the panic-on-corruption semantics of this layer.
+func NoError(err error, context string) {
+	if !Enabled || err == nil {
+		return
+	}
+	panic(Violation{Msg: context + ": " + err.Error()})
+}

@@ -1,0 +1,77 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// trips runs fn and reports the Violation it panicked with, or nil.
+func trips(fn func()) (v *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			got, ok := r.(Violation)
+			if !ok {
+				panic(r)
+			}
+			v = &got
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestCheck(t *testing.T) {
+	if v := trips(func() { Check(true, "fine") }); v != nil {
+		t.Fatalf("Check(true) tripped: %v", v)
+	}
+	v := trips(func() { Check(false, "broken thing") })
+	if Enabled {
+		if v == nil {
+			t.Fatal("Check(false) did not trip with invariants enabled")
+		}
+		if v.Msg != "broken thing" {
+			t.Fatalf("Msg = %q", v.Msg)
+		}
+		if !strings.Contains(v.Error(), "invariant violated") {
+			t.Fatalf("Error() = %q", v.Error())
+		}
+	} else if v != nil {
+		t.Fatalf("Check(false) tripped with invariants disabled: %v", v)
+	}
+}
+
+func TestCheckf(t *testing.T) {
+	v := trips(func() { Checkf(false, "bad offset %d in segment %q", 7, "wal-0001") })
+	if !Enabled {
+		if v != nil {
+			t.Fatalf("Checkf tripped with invariants disabled: %v", v)
+		}
+		return
+	}
+	if v == nil {
+		t.Fatal("Checkf(false) did not trip")
+	}
+	if want := `bad offset 7 in segment "wal-0001"`; v.Msg != want {
+		t.Fatalf("Msg = %q, want %q", v.Msg, want)
+	}
+}
+
+func TestNoError(t *testing.T) {
+	if v := trips(func() { NoError(nil, "ctx") }); v != nil {
+		t.Fatalf("NoError(nil) tripped: %v", v)
+	}
+	v := trips(func() { NoError(errors.New("csr offsets not monotone"), "graph: after build") })
+	if !Enabled {
+		if v != nil {
+			t.Fatalf("NoError tripped with invariants disabled: %v", v)
+		}
+		return
+	}
+	if v == nil {
+		t.Fatal("NoError(err) did not trip")
+	}
+	if want := "graph: after build: csr offsets not monotone"; v.Msg != want {
+		t.Fatalf("Msg = %q, want %q", v.Msg, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/vec"
 )
 
@@ -159,7 +160,15 @@ func (b *Builder) Build(view vec.View, seed int64) *graph.CSR {
 	// Exact construction for small blocks: the O(n²) scan beats the
 	// constant factors of iterating, and leaf blocks in tests are tiny.
 	if n <= 256 || n <= 2*k {
-		return graph.EnsureConnected(exactGraph(view, k), view, rng)
+		g := exactGraph(view, k)
+		if invariant.Enabled {
+			// The degree cap applies to the directed kNN lists; the
+			// symmetrized closure exactGraph returns has no per-node bound
+			// (a hub may appear in arbitrarily many lists), so only the
+			// structural shape is asserted here.
+			invariant.NoError(g.Validate(), "nndescent: exact graph shape")
+		}
+		return graph.EnsureConnected(g, view, rng)
 	}
 	heaps := b.initRandom(view, n, k, rng)
 	sampleK := int(b.cfg.Rho * float64(k))
@@ -245,7 +254,19 @@ func (b *Builder) Build(view vec.View, seed int64) *graph.CSR {
 	}
 	// A kNN graph over clustered data is one component per cluster;
 	// bridge them so single-entry graph search can reach everything.
-	return graph.EnsureConnected(finalize(heaps, view), view, rng)
+	if invariant.Enabled {
+		// The k-cap invariant lives on the directed candidate heaps;
+		// symmetrization then legitimately lifts hub nodes past k.
+		for v := range heaps {
+			invariant.Checkf(len(heaps[v]) <= k,
+				"nndescent: node %d holds %d candidates, cap %d", v, len(heaps[v]), k)
+		}
+	}
+	g := finalize(heaps, view)
+	if invariant.Enabled {
+		invariant.NoError(g.Validate(), "nndescent: pre-bridge graph shape")
+	}
+	return graph.EnsureConnected(g, view, rng)
 }
 
 // initRandom seeds every node with k distinct random neighbors.

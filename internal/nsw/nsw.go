@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -114,7 +115,19 @@ func (b *Builder) Build(view vec.View, seed int64) *graph.CSR {
 	}
 	// Degree-capped shrinking can in rare cases isolate a region; repair
 	// connectivity so single-entry search reaches everything.
-	return graph.EnsureConnected(graph.FromLists(adj), view, rng)
+	g := graph.FromLists(adj)
+	if invariant.Enabled {
+		// Shrinking enforces MaxDegree on backlink growth; a node's initial
+		// links are bounded by M, so the pre-bridge cap is the larger of the
+		// two. EnsureConnected may then add a few bridge endpoints past it.
+		capDeg := b.cfg.MaxDegree
+		if b.cfg.M > capDeg {
+			capDeg = b.cfg.M
+		}
+		invariant.NoError(g.ValidateDegree(capDeg), "nsw: pre-bridge degree cap")
+		invariant.NoError(g.Validate(), "nsw: pre-bridge graph shape")
+	}
+	return graph.EnsureConnected(g, view, rng)
 }
 
 // beamSearch finds up to ef nearest inserted nodes to q.

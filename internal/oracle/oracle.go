@@ -1,0 +1,366 @@
+// Package oracle is a differential testing harness for the repository's
+// TkNN indexes. It generates randomized insert/query workloads, replays
+// them simultaneously through MBI (sync and async), SF, and IVF, and
+// checks every answer against the brute-force BSBF baseline, which is
+// exact by construction.
+//
+// The comparison is two-tiered, mirroring what the indexes actually
+// guarantee:
+//
+//   - Where an index's answer is provably exact — MBI when the window only
+//     touches brute-forced regions (open leaf, pending async builds), SF
+//     before its first graph build, IVF when probing every list — the
+//     harness demands the exact BSBF distance sequence. Comparing distance
+//     sequences rather than ID sequences makes the check robust to
+//     tie-breaking differences between implementations.
+//   - Elsewhere the answer is approximate by design, so per-query the
+//     harness checks only structural sanity (sorted, deduplicated, inside
+//     the window, never more results than the window holds) and tracks
+//     distance-based recall against BSBF, asserting a per-system aggregate
+//     floor at the end of the run.
+//
+// Workloads are materialized up front from a seed, so a failure shrinks
+// mechanically: Minimize truncates to the failing prefix and then greedily
+// drops operations while the failure reproduces. Failing seeds print with
+// a TKNN_ORACLE_SEED replay line (see the tagged differential test).
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	tknn "repro"
+)
+
+// Config sizes a workload. Zero fields get defaults from applyDefaults.
+type Config struct {
+	// Seed determines the whole workload.
+	Seed int64
+	// Ops is the number of operations (inserts + queries). Default 400.
+	Ops int
+	// Dim is the vector dimension. Default 8.
+	Dim int
+	// Metric is the distance function. Default tknn.Euclidean.
+	Metric tknn.Metric
+	// LeafSize is MBI's S_L; kept small so workloads seal many blocks.
+	// Default 8.
+	LeafSize int
+	// MaxK bounds query K. Default 5.
+	MaxK int
+	// RecallFloor is the aggregate distance-recall each graph-based
+	// system must reach over the run's approximate queries. Default 0.85.
+	RecallFloor float64
+}
+
+func (c Config) applyDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 400
+	}
+	if c.Dim == 0 {
+		c.Dim = 8
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = 8
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 5
+	}
+	if c.RecallFloor == 0 {
+		c.RecallFloor = 0.85
+	}
+	return c
+}
+
+// OpKind tags a workload operation.
+type OpKind int
+
+const (
+	// OpInsert appends Vec at Time to every system.
+	OpInsert OpKind = iota
+	// OpQuery runs the TkNN query (Vec, K, [Start, End)) on every system
+	// and compares against BSBF.
+	OpQuery
+)
+
+// Op is one materialized workload operation.
+type Op struct {
+	Kind       OpKind
+	Vec        []float32
+	Time       int64 // insert timestamp
+	K          int
+	Start, End int64 // query window
+}
+
+func (o Op) String() string {
+	if o.Kind == OpInsert {
+		return fmt.Sprintf("insert t=%d", o.Time)
+	}
+	return fmt.Sprintf("query k=%d window=[%d,%d)", o.K, o.Start, o.End)
+}
+
+// Generate materializes the workload for cfg. The op list is a pure
+// function of the config, so any suffix-truncation of it replays an
+// identical prefix — the property Minimize relies on.
+func Generate(cfg Config) []Op {
+	cfg = cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]Op, 0, cfg.Ops)
+	var t int64
+	inserted := 0
+	for len(ops) < cfg.Ops {
+		// Lead with a few inserts so early queries have data; then mix.
+		if inserted < 4 || rng.Float64() < 0.6 {
+			// Int63n(3) makes runs of duplicate timestamps common — the
+			// regime where block-window boundary bugs live.
+			t += rng.Int63n(3)
+			ops = append(ops, Op{Kind: OpInsert, Vec: randVec(rng, cfg.Dim), Time: t})
+			inserted++
+			continue
+		}
+		op := Op{Kind: OpQuery, Vec: randVec(rng, cfg.Dim), K: 1 + rng.Intn(cfg.MaxK)}
+		switch rng.Intn(4) {
+		case 0: // full history
+			op.Start, op.End = 0, t+1
+		case 1: // short window ending now (often only the open leaf)
+			op.Start, op.End = max64(0, t-2), t+1
+		default: // random window
+			op.Start = rng.Int63n(t + 1)
+			op.End = op.Start + 1 + rng.Int63n(t-op.Start+2)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// Failure describes the first divergence Replay found.
+type Failure struct {
+	// OpIndex is the position of the failing operation in the workload.
+	OpIndex int
+	// System names the diverging index ("" when the reference itself
+	// failed).
+	System string
+	// Op is the failing operation.
+	Op Op
+	// Msg states the divergence.
+	Msg string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("oracle: op %d (%s) on %s: %s", f.OpIndex, f.Op, f.System, f.Msg)
+}
+
+// Stats aggregates a successful (or partially successful) replay.
+type Stats struct {
+	Inserts int
+	Queries int
+	// ExactChecks counts (system, query) pairs verified for exact
+	// equality; RecallChecks counts pairs scored for recall.
+	ExactChecks  int
+	RecallChecks int
+	// Recall maps system name to its aggregate distance-recall over the
+	// run's approximate queries (1.0 when it had none).
+	Recall map[string]float64
+}
+
+// Replay runs ops through every system and the BSBF reference, returning
+// the first divergence. The recall floor is asserted at the end of a
+// divergence-free replay.
+func Replay(cfg Config, ops []Op) (Stats, error) {
+	cfg = cfg.applyDefaults()
+	stats := Stats{Recall: map[string]float64{}}
+
+	ref, err := tknn.NewBSBF(cfg.Dim, cfg.Metric)
+	if err != nil {
+		return stats, err
+	}
+	systems, closeAll, err := newSystems(cfg)
+	if err != nil {
+		return stats, err
+	}
+	defer closeAll()
+
+	recallSum := map[string]float64{}
+	recallN := map[string]int{}
+
+	for i, op := range ops {
+		if op.Kind == OpInsert {
+			if err := ref.Add(op.Vec, op.Time); err != nil {
+				return stats, &Failure{OpIndex: i, System: "bsbf", Op: op, Msg: err.Error()}
+			}
+			for _, s := range systems {
+				if err := s.add(op.Vec, op.Time); err != nil {
+					return stats, &Failure{OpIndex: i, System: s.name, Op: op, Msg: err.Error()}
+				}
+			}
+			stats.Inserts++
+			continue
+		}
+
+		q := tknn.Query{Vector: op.Vec, K: op.K, Start: op.Start, End: op.End}
+		truth, err := ref.Search(q)
+		if err != nil {
+			return stats, &Failure{OpIndex: i, System: "bsbf", Op: op, Msg: err.Error()}
+		}
+		stats.Queries++
+		for _, s := range systems {
+			got, err := s.search(q)
+			if err != nil {
+				return stats, &Failure{OpIndex: i, System: s.name, Op: op, Msg: err.Error()}
+			}
+			if msg := checkSane(got, q, ref.Len(), len(truth)); msg != "" {
+				return stats, &Failure{OpIndex: i, System: s.name, Op: op, Msg: msg}
+			}
+			if s.exact(q) {
+				stats.ExactChecks++
+				if msg := checkExact(got, truth); msg != "" {
+					return stats, &Failure{OpIndex: i, System: s.name, Op: op, Msg: msg}
+				}
+			} else {
+				stats.RecallChecks++
+				recallSum[s.name] += recallOf(got, truth)
+				recallN[s.name]++
+			}
+		}
+	}
+
+	for _, s := range systems {
+		r := 1.0
+		if n := recallN[s.name]; n > 0 {
+			r = recallSum[s.name] / float64(n)
+		}
+		stats.Recall[s.name] = r
+		if floor := s.recallFloor(cfg); r < floor {
+			return stats, &Failure{
+				OpIndex: len(ops) - 1,
+				System:  s.name,
+				Op:      Op{Kind: OpQuery},
+				Msg: fmt.Sprintf("aggregate recall %.3f over %d approximate queries, floor %.2f",
+					r, recallN[s.name], floor),
+			}
+		}
+	}
+	return stats, nil
+}
+
+// Run generates and replays the workload for cfg.
+func Run(cfg Config) (Stats, error) {
+	return Replay(cfg, Generate(cfg))
+}
+
+// distEps absorbs the one place exact answers may differ in float bits:
+// both sides use identical distance kernels over identical pairs, but
+// cross-block merges can sum ties in a different order upstream.
+const distEps = 1e-5
+
+// checkSane verifies the guarantees every index makes on every query,
+// exact or not.
+func checkSane(got []tknn.Result, q tknn.Query, dbLen, inWindow int) string {
+	want := q.K
+	if inWindow < want {
+		want = inWindow
+	}
+	if len(got) > want {
+		return fmt.Sprintf("returned %d results for k=%d with %d in-window vectors", len(got), q.K, inWindow)
+	}
+	seen := map[int]bool{}
+	for i, r := range got {
+		if r.ID < 0 || r.ID >= dbLen {
+			return fmt.Sprintf("result %d has id %d outside [0,%d)", i, r.ID, dbLen)
+		}
+		if seen[r.ID] {
+			return fmt.Sprintf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Time < q.Start || r.Time >= q.End {
+			return fmt.Sprintf("result %d (id %d, t=%d) outside window [%d,%d)", i, r.ID, r.Time, q.Start, q.End)
+		}
+		if i > 0 && r.Dist < got[i-1].Dist {
+			return fmt.Sprintf("results not ascending: dist[%d]=%v < dist[%d]=%v", i, r.Dist, i-1, got[i-1].Dist)
+		}
+	}
+	return ""
+}
+
+// checkExact demands the reference's distance sequence.
+func checkExact(got, truth []tknn.Result) string {
+	if len(got) != len(truth) {
+		return fmt.Sprintf("got %d results, exact answer has %d\n  got:   %s\n  truth: %s",
+			len(got), len(truth), renderResults(got), renderResults(truth))
+	}
+	for i := range got {
+		d := float64(got[i].Dist) - float64(truth[i].Dist)
+		if d < -distEps || d > distEps {
+			return fmt.Sprintf("distance %d diverges: got %v, exact %v\n  got:   %s\n  truth: %s",
+				i, got[i].Dist, truth[i].Dist, renderResults(got), renderResults(truth))
+		}
+	}
+	return ""
+}
+
+// recallOf scores got against the exact answer by distance: a returned
+// result counts when it is at least as near as the worst true neighbor
+// (within distEps), which is the tie-robust form of recall@k.
+func recallOf(got, truth []tknn.Result) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	worst := float64(truth[len(truth)-1].Dist) + distEps
+	hit := 0
+	for _, r := range got {
+		if float64(r.Dist) <= worst {
+			hit++
+		}
+	}
+	if hit > len(truth) {
+		hit = len(truth)
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+func renderResults(rs []tknn.Result) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("(%d t=%d d=%.4g)", r.ID, r.Time, r.Dist)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Minimize shrinks a failing workload: first truncate to the failing
+// prefix, then greedily drop earlier operations while the replay still
+// fails. The returned slice still fails under Replay; if ops does not
+// fail in the first place it is returned unchanged.
+func Minimize(cfg Config, ops []Op) []Op {
+	fails := func(candidate []Op) bool {
+		_, err := Replay(cfg, candidate)
+		return err != nil
+	}
+	_, err := Replay(cfg, ops)
+	f, ok := err.(*Failure)
+	if !ok {
+		return ops
+	}
+	cur := append([]Op(nil), ops[:f.OpIndex+1]...)
+	for j := len(cur) - 2; j >= 0; j-- {
+		candidate := append(append([]Op(nil), cur[:j]...), cur[j+1:]...)
+		if fails(candidate) {
+			cur = candidate
+		}
+	}
+	return cur
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the property Minimize depends on: the
+// workload is a pure function of the config, and truncating it replays an
+// identical prefix.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate is not deterministic for a fixed config")
+	}
+	if len(a) != cfg.applyDefaults().Ops {
+		t.Fatalf("generated %d ops, want %d", len(a), cfg.applyDefaults().Ops)
+	}
+	inserts := 0
+	for _, op := range a {
+		if op.Kind == OpInsert {
+			inserts++
+		}
+	}
+	if inserts == 0 || inserts == len(a) {
+		t.Fatalf("degenerate workload: %d inserts of %d ops", inserts, len(a))
+	}
+}
+
+// TestSmokeRun replays a small workload untagged, so the harness itself is
+// exercised by plain `go test ./...`; the heavyweight multi-seed sweep
+// lives behind the tknn_invariants tag.
+func TestSmokeRun(t *testing.T) {
+	cfg := Config{Seed: 1, Ops: 150}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("differential smoke run failed: %v\nreplay: TKNN_ORACLE_SEED=%d go test -tags tknn_invariants -run TestDifferentialOracle ./internal/oracle/", err, cfg.Seed)
+	}
+	if stats.ExactChecks == 0 {
+		t.Error("workload produced no exactness-checked queries")
+	}
+	if stats.RecallChecks == 0 {
+		t.Error("workload produced no recall-scored queries")
+	}
+	t.Logf("inserts=%d queries=%d exact=%d recall-scored=%d recall=%v",
+		stats.Inserts, stats.Queries, stats.ExactChecks, stats.RecallChecks, stats.Recall)
+}
+
+// TestMinimizePassthrough: a passing workload comes back unchanged.
+func TestMinimizePassthrough(t *testing.T) {
+	cfg := Config{Seed: 1, Ops: 60}
+	ops := Generate(cfg)
+	if got := Minimize(cfg, ops); len(got) != len(ops) {
+		t.Fatalf("Minimize shrank a passing workload to %d of %d ops", len(got), len(ops))
+	}
+}

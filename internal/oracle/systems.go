@@ -1,0 +1,170 @@
+package oracle
+
+import (
+	tknn "repro"
+	"repro/internal/core"
+)
+
+// system is one index under differential test.
+type system struct {
+	name   string
+	add    func(v []float32, t int64) error
+	search func(q tknn.Query) ([]tknn.Result, error)
+	// exact reports whether, in the system's current state, its answer to
+	// q is guaranteed to equal the brute-force answer.
+	exact func(q tknn.Query) bool
+	// floor is the aggregate recall bound applied to the system's
+	// approximate queries.
+	floor func(cfg Config) float64
+}
+
+func (s *system) recallFloor(cfg Config) float64 { return s.floor(cfg) }
+
+func graphFloor(cfg Config) float64 { return cfg.RecallFloor }
+func alwaysExact(tknn.Query) bool   { return true }
+
+// newSystems builds one instance of every index variant the oracle
+// exercises. closeAll must be called when the replay finishes.
+func newSystems(cfg Config) ([]*system, func(), error) {
+	var systems []*system
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+
+	// MBI, synchronous merges. Exact exactly when block selection chose
+	// only brute-forced regions — Explain reports the plan without
+	// searching, so the classification can't drift from the real query
+	// path.
+	mbiSync, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, LeafSize: cfg.LeafSize, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name:   "mbi-sync",
+		add:    mbiSync.Add,
+		search: mbiSync.Search,
+		exact:  func(q tknn.Query) bool { return planIsBruteForce(mbiSync.Explain(q.Start, q.End)) },
+		floor:  graphFloor,
+	})
+
+	// MBI with asynchronous merging. Flushing before every query makes
+	// the visible state deterministic (all queued builds installed), so
+	// replays and shrinks reproduce; the paper's equivalence claim — the
+	// async tree is bit-identical to the sync one — is then tested for
+	// free, because both variants face the same exactness checks.
+	mbiAsync, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, LeafSize: cfg.LeafSize, Seed: cfg.Seed + 1,
+		AsyncMerge: true, Workers: 2,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	closers = append(closers, func() { _ = mbiAsync.Close() })
+	systems = append(systems, &system{
+		name: "mbi-async",
+		add:  mbiAsync.Add,
+		search: func(q tknn.Query) ([]tknn.Result, error) {
+			mbiAsync.Flush()
+			return mbiAsync.Search(q)
+		},
+		exact: func(q tknn.Query) bool {
+			mbiAsync.Flush()
+			return planIsBruteForce(mbiAsync.Explain(q.Start, q.End))
+		},
+		floor: graphFloor,
+	})
+
+	// SF with no graph build: every query falls through to the exact
+	// brute-force tail scan, making it a second independent reference.
+	sfFrozen, err := tknn.NewSF(tknn.SFOptions{Dim: cfg.Dim, Metric: cfg.Metric, Seed: cfg.Seed + 2})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name:   "sf-frozen",
+		add:    sfFrozen.Add,
+		search: sfFrozen.Search,
+		exact:  alwaysExact,
+		floor:  graphFloor,
+	})
+
+	// SF with periodic rebuilds: exact until the first build, then a
+	// graph search with a brute-forced tail — the approximate regime the
+	// recall floor governs.
+	sfRebuild, err := tknn.NewSF(tknn.SFOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, Seed: cfg.Seed + 3, RebuildEvery: 2 * cfg.LeafSize,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name:   "sf-rebuild",
+		add:    sfRebuild.Add,
+		search: sfRebuild.Search,
+		exact:  func(tknn.Query) bool { return sfRebuild.Built() == 0 },
+		floor:  graphFloor,
+	})
+
+	// IVF probing every list: exact within the window by construction
+	// (probed lists cover the database; the unclustered tail is scanned).
+	ivfFull, err := tknn.NewIVF(tknn.IVFOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, Seed: cfg.Seed + 4, RebuildEvery: 3 * cfg.LeafSize,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name: "ivf-full",
+		add:  ivfFull.Add,
+		search: func(q tknn.Query) ([]tknn.Result, error) {
+			nprobe := ivfFull.Lists()
+			if nprobe < 1 {
+				nprobe = 1
+			}
+			return ivfFull.SearchProbes(q, nprobe)
+		},
+		exact: alwaysExact,
+		floor: graphFloor,
+	})
+
+	// IVF probing a fixed couple of lists: deliberately lossy; the floor
+	// only guards against total collapse, not graph-level recall.
+	ivfProbe, err := tknn.NewIVF(tknn.IVFOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, Seed: cfg.Seed + 5, RebuildEvery: 3 * cfg.LeafSize, Probes: 2,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name:   "ivf-probe2",
+		add:    ivfProbe.Add,
+		search: ivfProbe.Search,
+		exact:  func(tknn.Query) bool { return ivfProbe.Built() == 0 },
+		floor:  func(Config) float64 { return 0.10 },
+	})
+
+	return systems, closeAll, nil
+}
+
+// planIsBruteForce reports whether every selected block of an MBI plan is
+// answered by brute force — the condition under which MBI's result is
+// exact.
+func planIsBruteForce(p core.Plan) bool {
+	for _, b := range p.Blocks {
+		if !b.BruteForce {
+			return false
+		}
+	}
+	return true
+}

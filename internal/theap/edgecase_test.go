@@ -1,0 +1,105 @@
+package theap
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTopKZeroKPanics: a collector that can hold nothing is a programming
+// error, not an empty result.
+func TestTopKZeroKPanics(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTopK(%d) did not panic", k)
+				}
+			}()
+			NewTopK(k)
+		}()
+	}
+}
+
+// TestTopKSingleSlot: k=1 degenerates to a running minimum; every retained
+// push must evict the previous holder, and ties must lose to the smaller
+// id already held.
+func TestTopKSingleSlot(t *testing.T) {
+	top := NewTopK(1)
+	if !top.Push(Neighbor{ID: 5, Dist: 3}) {
+		t.Fatal("first push into an empty collector was rejected")
+	}
+	if top.Push(Neighbor{ID: 6, Dist: 4}) {
+		t.Error("farther neighbor was retained over the current minimum")
+	}
+	if !top.Push(Neighbor{ID: 7, Dist: 2}) {
+		t.Error("nearer neighbor was rejected")
+	}
+	if top.Push(Neighbor{ID: 9, Dist: 2}) {
+		t.Error("equal distance with larger id displaced the holder")
+	}
+	got := top.Items()
+	if len(got) != 1 || got[0].ID != 7 || got[0].Dist != 2 {
+		t.Fatalf("k=1 collector holds %v, want [(7, 2)]", got)
+	}
+}
+
+// TestTopKDuplicateDistances: with every distance equal, the collector
+// must fall back to the id tie-break and retain exactly the k smallest
+// ids in ascending order.
+func TestTopKDuplicateDistances(t *testing.T) {
+	top := NewTopK(3)
+	for _, id := range []int32{9, 4, 7, 1, 8, 3} {
+		top.Push(Neighbor{ID: id, Dist: 1.5})
+	}
+	got := top.Items()
+	want := []int32{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d neighbors, want %d", len(got), len(want))
+	}
+	for i, n := range got {
+		if n.ID != want[i] || n.Dist != 1.5 {
+			t.Fatalf("Items() = %v, want ids %v at distance 1.5", got, want)
+		}
+	}
+}
+
+// TestTopKRejectsNaN: NaN has no place in a strict weak ordering, so Push
+// must refuse it in every collector state — empty, partially full, and
+// full — without disturbing the retained set.
+func TestTopKRejectsNaN(t *testing.T) {
+	nan := float32(math.NaN())
+	top := NewTopK(2)
+	if top.Push(Neighbor{ID: 1, Dist: nan}) {
+		t.Error("empty collector retained a NaN distance")
+	}
+	top.Push(Neighbor{ID: 2, Dist: 1})
+	if top.Push(Neighbor{ID: 3, Dist: nan}) {
+		t.Error("partially full collector retained a NaN distance")
+	}
+	top.Push(Neighbor{ID: 4, Dist: 2})
+	if top.Push(Neighbor{ID: 5, Dist: nan}) {
+		t.Error("full collector retained a NaN distance")
+	}
+	got := top.Items()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 4 {
+		t.Fatalf("NaN pushes disturbed the retained set: %v", got)
+	}
+}
+
+// TestMinQueueRejectsNaN: the frontier drops NaN on Push, so Pop order
+// over the rest is unaffected.
+func TestMinQueueRejectsNaN(t *testing.T) {
+	var q MinQueue
+	q.Push(Neighbor{ID: 1, Dist: 2})
+	q.Push(Neighbor{ID: 2, Dist: float32(math.NaN())})
+	q.Push(Neighbor{ID: 3, Dist: 1})
+	if q.Len() != 2 {
+		t.Fatalf("queue holds %d neighbors after a NaN push, want 2", q.Len())
+	}
+	if first := q.Pop(); first.ID != 3 {
+		t.Errorf("Pop() = %v, want id 3", first)
+	}
+	if second := q.Pop(); second.ID != 1 {
+		t.Errorf("Pop() = %v, want id 1", second)
+	}
+}

@@ -12,6 +12,8 @@
 // container/heap: the interface indirection costs ~2x on these hot paths.
 package theap
 
+import "repro/internal/invariant"
+
 // Neighbor is one candidate search result: a vector id and its distance to
 // the query. IDs are local to whatever view the search runs over; callers
 // translate to global ids when merging across blocks.
@@ -64,10 +66,18 @@ func (t *TopK) WorstNeighbor() Neighbor { return t.heap[0] }
 
 // Push offers a neighbor. It returns true if the neighbor was retained
 // (i.e. the collector was not full, or n beats the current worst).
+// NaN distances are rejected outright: NaN does not participate in any
+// strict weak ordering, so admitting one would silently corrupt the heap.
 func (t *TopK) Push(n Neighbor) bool {
+	if n.Dist != n.Dist {
+		return false
+	}
 	if len(t.heap) < t.k {
 		t.heap = append(t.heap, n)
 		t.siftUp(len(t.heap) - 1)
+		if invariant.Enabled {
+			invariant.NoError(t.Validate(), "theap: TopK after growing Push")
+		}
 		return true
 	}
 	if !Less(n, t.heap[0]) {
@@ -75,6 +85,9 @@ func (t *TopK) Push(n Neighbor) bool {
 	}
 	t.heap[0] = n
 	t.siftDown(0)
+	if invariant.Enabled {
+		invariant.NoError(t.Validate(), "theap: TopK after replacing Push")
+	}
 	return true
 }
 
@@ -146,8 +159,12 @@ type MinQueue struct {
 // Len returns the number of queued neighbors.
 func (q *MinQueue) Len() int { return len(q.heap) }
 
-// Push enqueues n.
+// Push enqueues n. NaN distances are dropped for the same reason TopK
+// rejects them: they have no place in the ordering.
 func (q *MinQueue) Push(n Neighbor) {
+	if n.Dist != n.Dist {
+		return
+	}
 	q.heap = append(q.heap, n)
 	h := q.heap
 	i := len(h) - 1
@@ -158,6 +175,9 @@ func (q *MinQueue) Push(n Neighbor) {
 		}
 		h[p], h[i] = h[i], h[p]
 		i = p
+	}
+	if invariant.Enabled {
+		invariant.NoError(q.Validate(), "theap: MinQueue after Push")
 	}
 }
 
@@ -170,6 +190,9 @@ func (q *MinQueue) Pop() Neighbor {
 	h[0] = h[n]
 	q.heap = h[:n]
 	q.siftDown(0)
+	if invariant.Enabled {
+		invariant.NoError(q.Validate(), "theap: MinQueue after Pop")
+	}
 	return top
 }
 

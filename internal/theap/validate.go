@@ -1,0 +1,47 @@
+package theap
+
+import "fmt"
+
+// Validate checks the two structural invariants of a TopK collector: the
+// retained count never exceeds k, and the backing array satisfies the
+// max-heap ordering on (Dist, ID). It returns an error rather than
+// panicking so tests can use it unconditionally; hot paths wrap it in an
+// invariant.Enabled guard.
+func (t *TopK) Validate() error {
+	if t.k <= 0 {
+		return fmt.Errorf("theap: TopK has k=%d, want > 0", t.k)
+	}
+	if len(t.heap) > t.k {
+		return fmt.Errorf("theap: TopK holds %d neighbors, bound is k=%d", len(t.heap), t.k)
+	}
+	for i, n := range t.heap {
+		if n.Dist != n.Dist {
+			return fmt.Errorf("theap: TopK slot %d holds NaN distance (id %d)", i, n.ID)
+		}
+	}
+	for i := 1; i < len(t.heap); i++ {
+		p := (i - 1) / 2
+		if Less(t.heap[p], t.heap[i]) {
+			return fmt.Errorf("theap: TopK max-heap violated: parent %d (id %d, dist %v) < child %d (id %d, dist %v)",
+				p, t.heap[p].ID, t.heap[p].Dist, i, t.heap[i].ID, t.heap[i].Dist)
+		}
+	}
+	return nil
+}
+
+// Validate checks the min-heap ordering of the frontier queue.
+func (q *MinQueue) Validate() error {
+	for i, n := range q.heap {
+		if n.Dist != n.Dist {
+			return fmt.Errorf("theap: MinQueue slot %d holds NaN distance (id %d)", i, n.ID)
+		}
+	}
+	for i := 1; i < len(q.heap); i++ {
+		p := (i - 1) / 2
+		if Less(q.heap[i], q.heap[p]) {
+			return fmt.Errorf("theap: MinQueue min-heap violated: child %d (id %d, dist %v) < parent %d (id %d, dist %v)",
+				i, q.heap[i].ID, q.heap[i].Dist, p, q.heap[p].ID, q.heap[p].Dist)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package vec
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
 
 // Store holds vectors of a fixed dimension back-to-back in one []float32.
 // Index i's coordinates live at data[i*dim : (i+1)*dim].
@@ -38,11 +42,28 @@ func (s *Store) Dim() int { return s.dim }
 // Len returns the number of vectors currently stored.
 func (s *Store) Len() int { return len(s.data) / s.dim }
 
+// CheckFinite returns an error if any coordinate of v is NaN or ±Inf.
+// A non-finite coordinate poisons every distance computed against the
+// vector, so ingest paths assert finiteness under the invariant gate.
+// The x-x != 0 test is NaN for both NaN and infinite inputs and keeps
+// this file inside the float32-only kernel rule (no math.IsNaN/IsInf).
+func CheckFinite(v []float32) error {
+	for i, x := range v {
+		if x-x != 0 {
+			return fmt.Errorf("vec: coordinate %d is not finite (%v)", i, x)
+		}
+	}
+	return nil
+}
+
 // Append adds a copy of v and returns its index.
 // It returns an error if len(v) does not match the store dimension.
 func (s *Store) Append(v []float32) (int, error) {
 	if len(v) != s.dim {
 		return 0, fmt.Errorf("vec: appending %d-dim vector to %d-dim store", len(v), s.dim)
+	}
+	if invariant.Enabled {
+		invariant.NoError(CheckFinite(v), "vec: ingest")
 	}
 	id := s.Len()
 	s.data = append(s.data, v...)

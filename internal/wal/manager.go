@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/invariant"
 )
 
 // Target is the index surface the Manager needs: the append it makes
@@ -296,6 +298,9 @@ func (m *Manager) openActiveSegment() error {
 	if err != nil {
 		return err
 	}
+	if invariant.Enabled {
+		invariant.NoError(validateSegments(segs), "wal: on-disk log at startup")
+	}
 	if n := len(segs); n > 0 && segs[n-1].size < m.cfg.SegmentBytes {
 		seg, err := openSegmentForAppend(segs[n-1])
 		if err != nil {
@@ -387,6 +392,9 @@ func (m *Manager) logRecordLocked(v []float32, t int64) error {
 	m.nextSeq++
 	m.appended++
 	m.sinceCp++
+	if invariant.Enabled {
+		invariant.NoError(m.validateLocked(), "wal: after logging a record")
+	}
 	return nil
 }
 
@@ -403,6 +411,9 @@ func (m *Manager) rotateLocked() error {
 		return err
 	}
 	m.seg = seg
+	if invariant.Enabled {
+		invariant.NoError(m.validateLocked(), "wal: after segment rotation")
+	}
 	return nil
 }
 

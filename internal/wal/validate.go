@@ -1,0 +1,48 @@
+package wal
+
+import "fmt"
+
+// validateSegments checks the cross-segment invariants of an on-disk log:
+// first-sequence numbers strictly increase (each segment starts where some
+// earlier one left off; duplicates would make replay ambiguous) and every
+// segment is at least a full header (openActiveSegment runs after torn
+// tails are truncated, so a sub-header file here is real corruption).
+func validateSegments(segs []segmentFile) error {
+	for i, seg := range segs {
+		if seg.size < segHeaderLen {
+			return fmt.Errorf("wal: segment %s is %d bytes, smaller than its %d-byte header",
+				seg.path, seg.size, segHeaderLen)
+		}
+		if i > 0 && seg.firstSeq <= segs[i-1].firstSeq {
+			return fmt.Errorf("wal: segment sequence numbers not strictly increasing: %d then %d",
+				segs[i-1].firstSeq, seg.firstSeq)
+		}
+	}
+	return nil
+}
+
+// validateLocked checks the Manager's in-memory sequencing invariants:
+// the active segment exists, its first record position does not exceed the
+// next sequence number (the segment holds records [firstSeq, nextSeq)), an
+// empty segment sits exactly at nextSeq, and no checkpoint claims to cover
+// records that were never logged. Caller holds mu; all fields read here
+// are written only under mu, so the check is race-free. O(1) — safe to run
+// per record under the invariant gate.
+func (m *Manager) validateLocked() error {
+	if m.seg == nil {
+		return fmt.Errorf("wal: no active segment")
+	}
+	if m.seg.size < segHeaderLen {
+		return fmt.Errorf("wal: active segment %s is %d bytes, smaller than its header", m.seg.path, m.seg.size)
+	}
+	if m.seg.firstSeq > m.nextSeq {
+		return fmt.Errorf("wal: active segment starts at record %d but nextSeq is %d", m.seg.firstSeq, m.nextSeq)
+	}
+	if m.seg.size == segHeaderLen && m.seg.firstSeq != m.nextSeq {
+		return fmt.Errorf("wal: empty active segment at record %d, want %d", m.seg.firstSeq, m.nextSeq)
+	}
+	if m.lastCpSeq > m.nextSeq {
+		return fmt.Errorf("wal: checkpoint covers %d records but only %d were logged", m.lastCpSeq, m.nextSeq)
+	}
+	return nil
+}
