@@ -6,9 +6,9 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/
+RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/
 
-.PHONY: check fmt vet build test race lint invariants recover
+.PHONY: check fmt vet build test race lint invariants recover bench-exec
 
 check: fmt vet build test race lint invariants recover
 
@@ -47,3 +47,9 @@ invariants:
 recover:
 	$(GO) test -count=1 -run 'Crash|Recovery|TornTail|Fuzz' ./internal/wal/
 	$(GO) test -race ./internal/wal/...
+
+# Executor perf trajectory: sequential vs parallel intra-query execution at
+# 1/4/16 selected blocks, with result equivalence asserted. Writes
+# BENCH_exec.json.
+bench-exec:
+	$(GO) run ./cmd/mbibench exec

@@ -1,12 +1,13 @@
 package tknn
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 
 	"repro/internal/bsbf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/sf"
@@ -18,6 +19,7 @@ type BSBF struct {
 	dim   int
 	inner *bsbf.Index
 	mu    sync.RWMutex
+	x     exec.Executor
 }
 
 // NewBSBF creates an empty BSBF index.
@@ -28,7 +30,15 @@ func NewBSBF(dim int, metric Metric) (*BSBF, error) {
 	if !metric.valid() {
 		return nil, fmt.Errorf("tknn: invalid metric %d", metric)
 	}
-	return &BSBF{dim: dim, inner: bsbf.New(dim, metric.internal())}, nil
+	return &BSBF{dim: dim, inner: bsbf.New(dim, metric.internal()), x: exec.New(0)}, nil
+}
+
+// SetQueryWorkers rebounds the intra-query scan pool: n <= 0 defaults to
+// GOMAXPROCS, n == 1 scans sequentially.
+func (b *BSBF) SetQueryWorkers(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.x = exec.New(n)
 }
 
 // Add implements Index.
@@ -46,12 +56,25 @@ func (b *BSBF) Add(v []float32, t int64) error {
 
 // Search implements Index. Results are exact.
 func (b *BSBF) Search(q Query) ([]Result, error) {
+	return b.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search through the shared executor: the window's scan
+// chunks run across the query-worker pool, and a done context yields the
+// best neighbors of the chunks that ran (a partial answer, not an error).
+func (b *BSBF) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	res, _, err := b.SearchDetailed(ctx, q)
+	return res, err
+}
+
+// SearchDetailed is SearchContext plus stage timings and the Partial flag.
+func (b *BSBF) SearchDetailed(ctx context.Context, q Query) ([]Result, SearchInfo, error) {
 	if err := validateQuery(q, b.dim); err != nil {
-		return nil, err
+		return nil, SearchInfo{}, err
 	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	ns := b.inner.Search(q.Vector, q.K, q.Start, q.End)
+	ns, eo := b.inner.SearchContext(ctx, q.Vector, q.K, q.Start, q.End, b.x)
 	out := make([]Result, len(ns))
 	for i, n := range ns {
 		out[i] = Result{ID: int(n.ID), Dist: n.Dist}
@@ -62,7 +85,14 @@ func (b *BSBF) Search(q Query) ([]Result, error) {
 	for i := range out {
 		out[i].Time = times[out[i].ID]
 	}
-	return out, nil
+	return out, infoFrom(eo), nil
+}
+
+// SearchBatchContext fans queries across workers goroutines with the same
+// batch semantics as MBI.SearchBatch: the first query error aborts, and a
+// done context stops the batch with ctx.Err().
+func (b *BSBF) SearchBatchContext(ctx context.Context, queries []Query, workers int) ([][]Result, error) {
+	return searchBatchCtx(ctx, queries, workers, b.SearchContext)
 }
 
 // timesOfBSBF recovers the timestamp slice; split out for testability.
@@ -138,8 +168,12 @@ type SF struct {
 	mu         sync.RWMutex
 	sinceBuild int
 	rebuilds   int
-	rngMu      sync.Mutex
-	rng        *rand.Rand
+	// entrySalt seeds per-query entry-point randomness: each query hashes
+	// (entrySalt, vector) into a plan-local entropy source, so concurrent
+	// searches share no state — unlike the old mutex-guarded rand.Rand —
+	// and the same query deterministically walks from the same entry.
+	entrySalt uint64
+	x         exec.Executor
 }
 
 // NewSF creates an empty SF index.
@@ -153,9 +187,10 @@ func NewSF(opts SFOptions) (*SF, error) {
 		return nil, err
 	}
 	return &SF{
-		opts:  opts,
-		inner: sf.New(opts.Dim, opts.Metric.internal(), builder),
-		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x7366)),
+		opts:      opts,
+		inner:     sf.New(opts.Dim, opts.Metric.internal(), builder),
+		entrySalt: uint64(opts.Seed) ^ 0x7366,
+		x:         exec.New(0),
 	}, nil
 }
 
@@ -202,17 +237,40 @@ func (s *SF) Built() int {
 
 // Search implements Index.
 func (s *SF) Search(q Query) ([]Result, error) {
+	return s.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search through the shared executor: the graph walk and
+// the unbuilt-tail scan run as independent subtasks, and a done context
+// yields the results of the subtasks that ran (a partial answer, not an
+// error).
+func (s *SF) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	res, _, err := s.SearchDetailed(ctx, q)
+	return res, err
+}
+
+// SearchDetailed is SearchContext plus stage timings and the Partial flag.
+func (s *SF) SearchDetailed(ctx context.Context, q Query) ([]Result, SearchInfo, error) {
 	if err := validateQuery(q, s.opts.Dim); err != nil {
-		return nil, err
+		return nil, SearchInfo{}, err
 	}
-	s.rngMu.Lock()
-	seed := s.rng.Int63()
-	s.rngMu.Unlock()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var entry int32
+	if built := s.inner.Built(); built > 0 && s.inner.Graph() != nil {
+		ent := exec.NewEntropy(int64(exec.QueryHash(s.entrySalt, q.Vector)))
+		entry = int32(ent.Intn(built))
+	}
 	p := graph.SearchParams{MC: s.opts.MaxCandidates, Eps: float32(s.opts.Epsilon)}
-	ns := s.inner.Search(q.Vector, q.K, q.Start, q.End, p, rand.New(rand.NewSource(seed)))
-	return toResults(ns, s.inner.Times()), nil
+	ns, eo := s.inner.SearchContext(ctx, q.Vector, q.K, q.Start, q.End, p, entry, s.x)
+	return toResults(ns, s.inner.Times()), infoFrom(eo), nil
+}
+
+// SearchBatchContext fans queries across workers goroutines with the same
+// batch semantics as MBI.SearchBatch: the first query error aborts, and a
+// done context stops the batch with ctx.Err().
+func (s *SF) SearchBatchContext(ctx context.Context, queries []Query, workers int) ([][]Result, error) {
+	return searchBatchCtx(ctx, queries, workers, s.SearchContext)
 }
 
 // Len implements Index.
@@ -249,9 +307,10 @@ func LoadSF(r io.Reader, opts SFOptions) (*SF, error) {
 		return nil, fmt.Errorf("tknn: file has metric %v, options say %v", inner.Metric(), opts.Metric)
 	}
 	return &SF{
-		opts:  opts,
-		inner: inner,
-		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x7366)),
+		opts:      opts,
+		inner:     inner,
+		entrySalt: uint64(opts.Seed) ^ 0x7366,
+		x:         exec.New(0),
 	}, nil
 }
 

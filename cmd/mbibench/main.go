@@ -20,6 +20,8 @@
 //	ivf       quantization-family comparator (IVF-Flat vs SF vs MBI)
 //	async     insert-latency profile: synchronous vs background merging
 //	wal       ingestion throughput: no WAL vs fsync=interval vs fsync=always
+//	exec      intra-query executor: sequential vs parallel at 1/4/16
+//	          selected blocks (writes BENCH_exec.json; see -out)
 //	all       everything above, in order
 //
 // Flags:
@@ -30,6 +32,7 @@
 //	-workers n   goroutines for ground truth / parallel builds (default NumCPU)
 //	-profiles s  comma-separated profile subset for fig5/fig9/table4
 //	-quick       preset: -scale 0.12 with a reduced sweep
+//	-out path    JSON report path for the exec experiment (default BENCH_exec.json)
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "worker goroutines")
 	profileList := fs.String("profiles", "", "comma-separated profile subset (default: all)")
 	quick := fs.Bool("quick", false, "fast preset (scale 0.12, coarse sweep)")
+	out := fs.String("out", "BENCH_exec.json", "JSON report path for the exec experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +118,10 @@ func run(args []string) error {
 		bench.AsyncMergeExperiment(cfg, w)
 	case "wal":
 		bench.WALExperiment(cfg, w)
+	case "exec":
+		if _, err := bench.ExecExperiment(cfg, w, *out); err != nil {
+			return err
+		}
 	case "all":
 		bench.Table2(cfg, profiles, w)
 		bench.Table3(cfg, profiles, w)
@@ -132,6 +140,9 @@ func run(args []string) error {
 		bench.IVFExperiment(cfg, profiles, w)
 		bench.AsyncMergeExperiment(cfg, w)
 		bench.WALExperiment(cfg, w)
+		if _, err := bench.ExecExperiment(cfg, w, *out); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}

@@ -47,6 +47,7 @@ func main() {
 	tau := flag.Float64("tau", 0.5, "block-selection threshold")
 	degree := flag.Int("degree", 24, "per-block graph degree")
 	eps := flag.Float64("eps", 1.2, "search range-extension factor")
+	searchTimeout := flag.Duration("search-timeout", 0, "per-request search deadline; expired queries return partial results (0 = none)")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (durable mode)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync=interval")
@@ -124,12 +125,13 @@ func main() {
 		}
 	}
 
-	var handler http.Handler
+	var handler *server.Server
 	if manager != nil {
 		handler = server.NewDurable(ix, manager)
 	} else {
 		handler = server.New(ix)
 	}
+	handler.SetSearchTimeout(*searchTimeout)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -35,7 +35,7 @@ var ruleCatalog = []struct{ Name, Doc string }{
 	{ruleFloat32, "hot-path distance kernels (internal/vec, internal/theap, *Distance*/*Search* in internal/graph) must stay in float32: no float64 conversions, no math.* calls outside the allowlist"},
 	{ruleRand, "library packages (root package, internal/...) must not call top-level math/rand functions; thread a seeded *rand.Rand for reproducible builds"},
 	{ruleLock, "exported methods must hold the mutex that guards the fields they touch, and Lock/Unlock pairs that span branches must use defer"},
-	{ruleErr, "cmd/ and internal/server must not discard error returns from io/os/net/encoding calls"},
+	{ruleErr, "cmd/, internal/server, internal/wal, and internal/exec must not discard error returns from io/os/net/encoding calls"},
 	{ruleCopylock, "values that contain sync or atomic synchronization primitives must not be copied: by-value receivers, parameters, and range variables carrying them are flagged"},
 	{ruleGoroutine, "library goroutines must carry a completion signal (channel op, select, close, or WaitGroup Done/Add/Wait) in their body; a goroutine with none can never be joined and leaks"},
 	{ruleInvariant, "calls into internal/invariant must sit inside an `if invariant.Enabled` guard so their arguments are never evaluated in default builds"},

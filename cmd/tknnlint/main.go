@@ -15,8 +15,8 @@
 //	                  global generator
 //	lock-discipline   exported methods hold the mutex guarding the fields
 //	                  they touch; branchy Lock/Unlock pairs use defer
-//	unchecked-errors  cmd/ and internal/server check io/os/net/encoding
-//	                  errors
+//	unchecked-errors  cmd/, internal/server, internal/wal, and
+//	                  internal/exec check io/os/net/encoding errors
 //	copylock          no by-value receivers, parameters, or range
 //	                  variables carrying sync/atomic primitives
 //	goroutine-leak    library goroutines carry a completion signal

@@ -26,8 +26,12 @@ var errPkgPrefixes = []string{"io", "os", "net", "encoding"}
 
 func uncheckedErrScope(rel string) bool {
 	// internal/wal is in scope because a dropped fsync or close error
-	// there silently voids the durability guarantee.
-	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" || rel == "internal/wal"
+	// there silently voids the durability guarantee. internal/exec is in
+	// scope because the shared query executor sits under every index's
+	// search path: an error swallowed there silently degrades answers for
+	// all of them.
+	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" ||
+		rel == "internal/wal" || rel == "internal/exec"
 }
 
 func watchedErrPkg(path string) bool {

@@ -1,0 +1,10 @@
+// Package exec is the fourth unchecked-errors scope: the shared query
+// executor underlies every index's search path.
+package exec
+
+import "encoding/json"
+
+func report(enc *json.Encoder, v any) {
+	enc.Encode(v)     // discarded encode error: flagged
+	_ = enc.Encode(v) // explicit discard: clean
+}

@@ -11,9 +11,12 @@
 package bsbf
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -89,8 +92,65 @@ func WindowOf(times []int64, ts, te int64) (lo, hi int) {
 // global insertion indices. Fewer than k results are returned when the
 // window holds fewer than k vectors.
 func (ix *Index) Search(q []float32, k int, ts, te int64) []theap.Neighbor {
+	res, _ := ix.SearchContext(context.Background(), q, k, ts, te, exec.Executor{Workers: 1})
+	return res
+}
+
+// SearchContext answers the query through the shared executor: the plan's
+// scan chunks run across x's worker pool, subtasks never start after ctx
+// is done, and expiry yields partial results tagged in the outcome.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	planStart := time.Now()
+	plan := ix.Plan(q, k, ts, te)
+	planDur := time.Since(planStart)
+	res, out := x.Run(ctx, plan)
+	out.Select = planDur
+	return res, out
+}
+
+// Plan translates the query into the shared executor's shape: the
+// binary-searched window split into fixed-size brute-scan chunks, so a
+// long window can be scanned by several workers and merged. Chunks cover
+// disjoint id ranges, so the merged result is identical for every worker
+// count.
+func (ix *Index) Plan(q []float32, k int, ts, te int64) exec.Plan {
+	if k <= 0 || ts >= te {
+		return exec.Plan{K: k}
+	}
 	lo, hi := ix.Window(ts, te)
-	return ScanRange(ix.store, ix.metric, q, k, lo, hi)
+	return ScanPlan(ix.store, ix.metric, ix.times, q, k, lo, hi)
+}
+
+// ScanChunk is the row count of one brute-scan subtask. Large enough that
+// per-subtask overhead vanishes against ~thousands of distance
+// evaluations, small enough that a window of a few chunks already
+// parallelizes.
+const ScanChunk = 8192
+
+// ScanPlan builds the chunked brute-scan plan over global rows [lo, hi) of
+// store; times (when non-empty) annotates each chunk's subtask with its
+// time window.
+func ScanPlan(store *vec.Store, metric vec.Metric, times []int64, q []float32, k, lo, hi int) exec.Plan {
+	plan := exec.Plan{K: k}
+	if k <= 0 || lo >= hi {
+		return plan
+	}
+	for start := lo; start < hi; start += ScanChunk {
+		end := start + ScanChunk
+		if end > hi {
+			end = hi
+		}
+		st := exec.Subtask{Kind: exec.BruteScan, Lo: start, Hi: end}
+		if len(times) >= end {
+			st.WindowStart, st.WindowEnd = times[start], times[end-1]+1
+		}
+		lo, hi := start, end
+		st.Run = func(ctx context.Context) []theap.Neighbor {
+			return ScanRangeContext(ctx, store, metric, q, k, lo, hi)
+		}
+		plan.Subtasks = append(plan.Subtasks, st)
+	}
+	return plan
 }
 
 // ScanRange brute-force scans global rows [lo, hi) of store, returning the
@@ -102,6 +162,31 @@ func ScanRange(store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi i
 	}
 	top := theap.NewTopK(k)
 	for i := lo; i < hi; i++ {
+		d := vec.Distance(metric, q, store.At(i))
+		top.Push(theap.Neighbor{ID: int32(i), Dist: d})
+	}
+	return top.Items()
+}
+
+// scanPoll is how many rows ScanRangeContext scans between context polls:
+// rare enough to stay off the hot path, frequent enough that cancelling a
+// scan takes microseconds.
+const scanPoll = 2048
+
+// ScanRangeContext is ScanRange with cancellation: the scan polls ctx
+// every scanPoll rows and, when the context is done, returns the best
+// neighbors found in the prefix scanned so far — a truncated answer, never
+// an error. The executor tags the outcome Partial whenever the context
+// fired mid-plan, so truncation is always reported.
+func ScanRangeContext(ctx context.Context, store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
+	if k <= 0 || lo >= hi {
+		return nil
+	}
+	top := theap.NewTopK(k)
+	for i := lo; i < hi; i++ {
+		if (i-lo)%scanPoll == scanPoll-1 && ctx.Err() != nil {
+			break
+		}
 		d := vec.Distance(metric, q, store.At(i))
 		top.Push(theap.Neighbor{ID: int32(i), Dist: d})
 	}

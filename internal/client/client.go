@@ -97,12 +97,24 @@ func (c *Client) Checkpoint(ctx context.Context) (wal.CheckpointInfo, error) {
 
 // Search runs a TkNN query.
 func (c *Client) Search(ctx context.Context, v []float32, k int, start, end int64) ([]server.SearchResult, error) {
-	var out server.SearchResponse
-	err := c.post(ctx, "/search", server.SearchRequest{Vector: v, K: k, Start: start, End: end}, &out)
+	out, err := c.SearchDetailed(ctx, v, k, start, end)
 	if err != nil {
 		return nil, err
 	}
 	return out.Results, nil
+}
+
+// SearchDetailed runs a TkNN query and returns the full response: the
+// partial flag (set when the server's -search-timeout expired or the
+// request was canceled mid-query) and per-stage timings alongside the
+// results.
+func (c *Client) SearchDetailed(ctx context.Context, v []float32, k int, start, end int64) (server.SearchResponse, error) {
+	var out server.SearchResponse
+	err := c.post(ctx, "/search", server.SearchRequest{Vector: v, K: k, Start: start, End: end}, &out)
+	if err != nil {
+		return server.SearchResponse{}, err
+	}
+	return out, nil
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {

@@ -26,11 +26,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 
-	"repro/internal/bsbf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/invariant"
 	"repro/internal/theap"
@@ -59,6 +60,11 @@ type Options struct {
 	// during a merge cascade (§4.2 "Parallelization of MBI").
 	// Zero or one means build sequentially.
 	Workers int
+	// QueryWorkers bounds the goroutines one query may use to search its
+	// selected blocks in parallel (the intra-query dimension of "Data
+	// Series Indexing Gone Parallel"). Zero defaults to GOMAXPROCS; one
+	// runs the plan sequentially on the calling goroutine.
+	QueryWorkers int
 	// AsyncMerge moves leaf sealing and bottom-up block merging to a
 	// background worker so Append never blocks on graph construction.
 	// Sealed-but-unbuilt vectors are answered by brute force until their
@@ -90,6 +96,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("mbi: Workers must be non-negative, got %d", o.Workers)
+	}
+	if o.QueryWorkers < 0 {
+		return fmt.Errorf("mbi: QueryWorkers must be non-negative, got %d", o.QueryWorkers)
 	}
 	return nil
 }
@@ -128,8 +137,14 @@ type Index struct {
 	closed  bool
 
 	searchers sync.Pool
-	rngMu     sync.Mutex
-	rng       *rand.Rand
+	// entrySalt seeds per-query entry-point randomness for the internal
+	// Search path: each query hashes (entrySalt, vector) into a plan-local
+	// entropy source, so concurrent queries share no state at all — and the
+	// same query always draws the same entries, making results fully
+	// deterministic where the old mutex-guarded rand.Rand made them depend
+	// on call order.
+	entrySalt uint64
+	executor  exec.Executor
 }
 
 // sealJob is one filled leaf handed to the async merge worker.
@@ -145,9 +160,8 @@ func New(opts Options) (*Index, error) {
 	ix := &Index{
 		opts:  opts,
 		store: vec.NewStore(opts.Dim),
-		rng:   rand.New(rand.NewSource(opts.Seed ^ 0x6d6269)), // query-entry rng, distinct stream from builds
 	}
-	ix.searchers.New = func() any { return graph.NewSearcher(0) }
+	ix.initQueryState()
 	if opts.AsyncMerge {
 		ix.jobs = make(chan sealJob, 16)
 		go ix.mergeWorker()
@@ -155,8 +169,26 @@ func New(opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// initQueryState wires the runtime pieces New and Restore share: the
+// searcher pool, the entry-point salt (derived from the seed, distinctly
+// from builds), and the intra-query executor.
+func (ix *Index) initQueryState() {
+	ix.searchers.New = func() any { return graph.NewSearcher(0) }
+	ix.entrySalt = uint64(ix.opts.Seed) ^ 0x6d6269
+	ix.executor = exec.New(ix.opts.QueryWorkers)
+}
+
 // Options returns the index configuration.
 func (ix *Index) Options() Options { return ix.opts }
+
+// SetQueryWorkers rebounds the intra-query worker pool: n <= 0 defaults to
+// GOMAXPROCS, n == 1 runs plans sequentially. Exposed so benchmarks and
+// tests can compare execution modes on one index.
+func (ix *Index) SetQueryWorkers(n int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.executor = exec.New(n)
+}
 
 // Len returns the number of indexed vectors.
 func (ix *Index) Len() int {
@@ -416,10 +448,16 @@ func (ix *Index) selectInLocked(bi int, ts, te int64, tau float64, out *[]select
 // distance. IDs are global insertion indices. Fewer than k results are
 // returned when the window holds fewer than k vectors.
 func (ix *Index) Search(q []float32, k int, ts, te int64) []theap.Neighbor {
-	ix.rngMu.Lock()
-	seed := ix.rng.Int63()
-	ix.rngMu.Unlock()
-	return ix.SearchWith(q, k, ts, te, ix.opts.Search, rand.New(rand.NewSource(seed)))
+	res, _ := ix.SearchContext(context.Background(), q, k, ts, te)
+	return res
+}
+
+// SearchContext is Search with a context: subtasks of the query plan never
+// start after ctx is done, and on cancellation or deadline expiry the
+// merged results of the subtasks that did run are returned with
+// Outcome.Partial set instead of an error.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64) ([]theap.Neighbor, exec.Outcome) {
+	return ix.SearchTauContext(ctx, q, k, ts, te, ix.opts.Tau, ix.opts.Search, nil)
 }
 
 // SearchWith answers a TkNN query with explicit Algorithm 2 parameters and
@@ -433,56 +471,30 @@ func (ix *Index) SearchWith(q []float32, k int, ts, te int64, p graph.SearchPara
 // used by the τ-sweep experiment (Figure 9). τ is a pure query-time
 // parameter — no index state depends on it.
 func (ix *Index) SearchTau(q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	res, _ := ix.SearchTauContext(context.Background(), q, k, ts, te, tau, p, rng)
+	return res
+}
+
+// SearchTauContext plans the query (block selection plus per-block entry
+// points) and hands the plan to the shared executor. A nil rng draws entry
+// points from a plan-local entropy source seeded by hashing the query
+// vector (see entrySalt); a non-nil rng is consumed at plan time in
+// selection order. Either way the draws happen before execution, so results
+// are reproducible and identical for every worker count. The returned
+// outcome carries stage timings and the Partial flag.
+func (ix *Index) SearchTauContext(ctx context.Context, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, exec.Outcome) {
 	if k <= 0 || ts >= te {
-		return nil
+		return nil, exec.Outcome{}
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if ix.store.Len() == 0 {
-		return nil
+		return nil, exec.Outcome{}
 	}
-
-	sel := ix.selectBlocksLocked(ts, te, tau)
-	if invariant.Enabled {
-		invariant.NoError(ix.validateSelectionLocked(sel, ts, te), "mbi: block selection")
-	}
-	if len(sel) == 0 {
-		return nil
-	}
-	if len(sel) == 1 {
-		return ix.searchBlockLocked(sel[0], q, k, ts, te, p, rng)
-	}
-	lists := make([][]theap.Neighbor, 0, len(sel))
-	for _, s := range sel {
-		if r := ix.searchBlockLocked(s, q, k, ts, te, p, rng); len(r) > 0 {
-			lists = append(lists, r)
-		}
-	}
-	return theap.Merge(k, lists...) // Algorithm 4 line 9
-}
-
-// searchBlockLocked answers the query within one selected block: graph
-// search (Algorithm 2) for sealed blocks, brute force (Algorithm 1) for
-// the open leaf. Returned IDs are global. Caller holds mu.RLock.
-func (ix *Index) searchBlockLocked(s selection, q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
-	if s.openLeaf {
-		lo, hi := bsbf.WindowOf(ix.times[s.lo:s.hi], ts, te)
-		return bsbf.ScanRange(ix.store, ix.opts.Metric, q, k, s.lo+lo, s.lo+hi)
-	}
-	view := vec.View{Store: ix.store, Lo: s.lo, Hi: s.hi, Metric: ix.opts.Metric}
-	times := ix.times
-	base := int32(s.lo)
-	filter := func(local int32) bool {
-		t := times[base+int32(local)]
-		return t >= ts && t < te
-	}
-	sr := ix.searchers.Get().(*graph.Searcher)
-	res := sr.Search(s.g, view, q, k, filter, p, graph.RandomEntry(rng, s.hi-s.lo))
-	ix.searchers.Put(sr)
-	for i := range res {
-		res[i].ID += base
-	}
-	return res
+	plan, _, selDur := ix.planTimedLocked(q, k, ts, te, tau, p, rng)
+	res, out := ix.executor.Run(ctx, plan)
+	out.Select = selDur
+	return res, out
 }
 
 // SelectedBlockCount returns how many blocks top-down selection would

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/theap"
 )
 
 // BlockPlan describes one block that top-down selection chose for a query
@@ -25,6 +31,15 @@ type BlockPlan struct {
 	// BruteForce reports whether this block is answered by brute force
 	// (only the open leaf) rather than graph search.
 	BruteForce bool
+	// Duration is the block subtask's wall-clock run time. Zero unless the
+	// plan was executed (SearchExplainContext).
+	Duration time.Duration
+	// Skipped reports that the executed plan's context was done before
+	// this block's subtask started. Always false for static Explain.
+	Skipped bool
+	// Found is the number of neighbors the block's subtask returned in an
+	// executed plan.
+	Found int
 }
 
 // Plan is the result of Explain: everything block selection decided for a
@@ -38,20 +53,47 @@ type Plan struct {
 	TotalInWindow int
 	// Blocks are the selected blocks in timestamp order.
 	Blocks []BlockPlan
+
+	// Executed reports whether the plan was actually run
+	// (SearchExplainContext); the fields below are zero otherwise.
+	Executed bool
+	// Partial reports that the context was done before every block
+	// finished — the query's results cover only the blocks that ran.
+	Partial bool
+	// Select, Search, Merge are the executed query's stage durations:
+	// block selection + planning, per-block subtask execution, and the
+	// final theap.Merge combine.
+	Select, Search, Merge time.Duration
 }
 
-// String renders the plan like an EXPLAIN output.
+// String renders the plan like an EXPLAIN output; executed plans include
+// stage durations and per-block timings (EXPLAIN ANALYZE, as it were).
 func (p Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "window [%d, %d): %d vectors in %d block(s), tau=%.2f\n",
 		p.WindowStart, p.WindowEnd, p.TotalInWindow, len(p.Blocks), p.Tau)
+	if p.Executed {
+		fmt.Fprintf(&b, "executed: select %v, search %v, merge %v", p.Select, p.Search, p.Merge)
+		if p.Partial {
+			b.WriteString(" (partial)")
+		}
+		b.WriteString("\n")
+	}
 	for _, blk := range p.Blocks {
 		kind := fmt.Sprintf("height %d, graph", blk.Height)
 		if blk.BruteForce {
 			kind = "open leaf, brute force"
 		}
-		fmt.Fprintf(&b, "  block [%d, %d) %-24s overlap %.2f, %d/%d vectors in window\n",
+		fmt.Fprintf(&b, "  block [%d, %d) %-24s overlap %.2f, %d/%d vectors in window",
 			blk.Lo, blk.Hi, "("+kind+")", blk.OverlapRatio, blk.InWindow, blk.Hi-blk.Lo)
+		if p.Executed {
+			if blk.Skipped {
+				b.WriteString(", skipped")
+			} else {
+				fmt.Fprintf(&b, ", %d found in %v", blk.Found, blk.Duration)
+			}
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -67,11 +109,17 @@ func (ix *Index) Explain(ts, te int64) Plan {
 func (ix *Index) ExplainTau(ts, te int64, tau float64) Plan {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	plan := Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
 	if ix.store.Len() == 0 || ts >= te {
-		return plan
+		return Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
 	}
-	for _, s := range ix.selectBlocksLocked(ts, te, tau) {
+	return ix.explainSelLocked(ix.selectBlocksLocked(ts, te, tau), ts, te, tau)
+}
+
+// explainSelLocked renders selections into the static half of a Plan.
+// Caller holds mu.
+func (ix *Index) explainSelLocked(sel []selection, ts, te int64, tau float64) Plan {
+	plan := Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
+	for _, s := range sel {
 		bts, bte := ix.blockWindowLocked(s.lo, s.hi)
 		ro := 1.0
 		if bte > bts {
@@ -96,6 +144,41 @@ func (ix *Index) ExplainTau(ts, te int64, tau float64) Plan {
 		plan.TotalInWindow += inWindow
 	}
 	return plan
+}
+
+// SearchExplainContext answers the query through the shared executor and
+// returns the results together with the *executed* plan: the static
+// Explain fields annotated with per-block timings, skip flags, stage
+// durations, and the Partial flag. It is the EXPLAIN ANALYZE counterpart
+// of Explain. A nil rng draws entry points from a plan-local query-hash
+// entropy source, as in SearchTauContext.
+func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, Plan) {
+	if k <= 0 || ts >= te {
+		return nil, Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.store.Len() == 0 {
+		return nil, Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
+	}
+	eplan, sel, selDur := ix.planTimedLocked(q, k, ts, te, tau, p, rng)
+	res, out := ix.executor.Run(ctx, eplan)
+
+	plan := ix.explainSelLocked(sel, ts, te, tau)
+	plan.Executed = true
+	plan.Partial = out.Partial
+	plan.Select = selDur
+	plan.Search = out.Search
+	plan.Merge = out.Merge
+	// planLocked emits exactly one subtask per selection, in order, so the
+	// executed results annotate the static blocks 1:1.
+	for i := range plan.Blocks {
+		sr := out.Subtasks[i]
+		plan.Blocks[i].Duration = sr.Duration
+		plan.Blocks[i].Skipped = sr.Skipped
+		plan.Blocks[i].Found = sr.Found
+	}
+	return res, plan
 }
 
 // heightOfRangeLocked resolves a selected range back to its block height.

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/bsbf"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// This file is MBI's half of the plan/execute split: block selection
+// (Algorithm 4) becomes a planner that translates its selections into
+// exec.Subtasks, and the shared executor owns running them — sequentially
+// or across a worker pool — and merging.
+
+// planTimedLocked runs block selection and builds the executable plan,
+// returning the selections (Explain annotates them) and the planning
+// duration for the outcome's Select stage. Caller holds mu.
+func (ix *Index) planTimedLocked(q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) (exec.Plan, []selection, time.Duration) {
+	start := time.Now()
+	sel := ix.selectBlocksLocked(ts, te, tau)
+	if invariant.Enabled {
+		invariant.NoError(ix.validateSelectionLocked(sel, ts, te), "mbi: block selection")
+	}
+	plan := ix.planLocked(sel, q, k, ts, te, p, rng)
+	return plan, sel, time.Since(start)
+}
+
+// entryProbes is how many entry seeds pickEntriesLocked draws per graph
+// block. A single random entry (Algorithm 2 line 1 verbatim) occasionally
+// starts the walk in a basin the ε-bounded expansion cannot escape and
+// misses an exact match even at k=1; multi-seeding the frontier with a
+// handful of independent starts unions their basins, so a miss requires
+// every seed to be unlucky at once. The extra cost is a few frontier
+// pushes — noise next to the hundreds of distance evaluations a traversal
+// performs.
+const entryProbes = 4
+
+// pickEntriesLocked draws the graph entry seeds for one selected block at
+// plan time: entryProbes candidates, from rng when non-nil, else the
+// plan-local entropy. Duplicates are fine — the searcher's visited set
+// collapses them. Caller holds mu.
+func (ix *Index) pickEntriesLocked(s selection, rng *rand.Rand, ent *exec.Entropy) []int32 {
+	n := s.hi - s.lo
+	probes := entryProbes
+	if probes > n {
+		probes = n
+	}
+	entries := make([]int32, probes)
+	for i := range entries {
+		if rng != nil {
+			entries[i] = graph.RandomEntry(rng, n)
+		} else {
+			entries[i] = int32(ent.Intn(n))
+		}
+	}
+	return entries
+}
+
+// planLocked translates selections into an exec.Plan: one subtask per
+// selected block, in selection (= timestamp) order — graph search
+// (Algorithm 2) for sealed blocks, brute scan (Algorithm 1) for the open
+// leaf and any pending async tail.
+//
+// Entry seeds are drawn here, at plan time, sequentially in selection
+// order: an explicit rng therefore consumes a deterministic sequence
+// (reproducible experiments stay reproducible), and execution order cannot
+// perturb the draws — which, together with the subtasks covering disjoint
+// global-id ranges, makes the merged result identical for every worker
+// count. A nil rng draws from a plan-local entropy source seeded by
+// hashing the query vector: no shared state to contend on, and the same
+// query always walks from the same entries, so internal-path results are
+// deterministic end to end.
+//
+// The subtask closures capture store, times, and graphs; the caller holds
+// mu across executor.Run and the executor joins its workers before
+// returning, so the captures never outlive the lock. Caller holds mu.
+func (ix *Index) planLocked(sel []selection, q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) exec.Plan {
+	plan := exec.Plan{K: k, Subtasks: make([]exec.Subtask, 0, len(sel))}
+	var ent *exec.Entropy
+	if rng == nil {
+		ent = exec.NewEntropy(int64(exec.QueryHash(ix.entrySalt, q)))
+	}
+	for _, s := range sel {
+		st := exec.Subtask{Lo: s.lo, Hi: s.hi}
+		st.WindowStart, st.WindowEnd = ix.blockWindowLocked(s.lo, s.hi)
+		if s.openLeaf {
+			st.Kind = exec.BruteScan
+			lo, hi := bsbf.WindowOf(ix.times[s.lo:s.hi], ts, te)
+			lo, hi = s.lo+lo, s.lo+hi
+			store, metric := ix.store, ix.opts.Metric
+			st.Run = func(ctx context.Context) []theap.Neighbor {
+				return bsbf.ScanRangeContext(ctx, store, metric, q, k, lo, hi)
+			}
+		} else {
+			st.Kind = exec.GraphSearch
+			entries := ix.pickEntriesLocked(s, rng, ent)
+			view := vec.View{Store: ix.store, Lo: s.lo, Hi: s.hi, Metric: ix.opts.Metric}
+			times := ix.times
+			base := int32(s.lo)
+			g := s.g
+			st.Run = func(ctx context.Context) []theap.Neighbor {
+				// A graph traversal visits a bounded frontier and is short
+				// relative to scans; cancellation is honored between
+				// subtasks rather than inside the walk.
+				filter := func(local int32) bool {
+					t := times[base+int32(local)]
+					return t >= ts && t < te
+				}
+				sr := ix.searchers.Get().(*graph.Searcher)
+				res := sr.Search(g, view, q, k, filter, p, entries[0], entries[1:]...)
+				ix.searchers.Put(sr)
+				for i := range res {
+					res[i].ID += base
+				}
+				return res
+			}
+		}
+		plan.Subtasks = append(plan.Subtasks, st)
+	}
+	return plan
+}

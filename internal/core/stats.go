@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
-	"repro/internal/graph"
 	"repro/internal/vec"
 )
 
@@ -209,9 +207,8 @@ func Restore(opts Options, store *vec.Store, times []int64, blocks []Block, fore
 		blocks: blocks,
 		forest: forest,
 		openLo: openLo,
-		rng:    rand.New(rand.NewSource(opts.Seed ^ 0x6d6269)),
 	}
-	ix.searchers.New = func() any { return graph.NewSearcher(0) }
+	ix.initQueryState()
 	if err := ix.CheckInvariants(); err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/bsbf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/theap"
 )
@@ -168,17 +170,23 @@ func (ix *Index) TuneTau(cfg TunerConfig) (*TauTable, error) {
 // SearchAutoTauDefault is SearchAutoTau with the index's default search
 // parameters and internal entry randomness, mirroring Search.
 func (ix *Index) SearchAutoTauDefault(q []float32, k int, ts, te int64, table *TauTable) []theap.Neighbor {
-	ix.rngMu.Lock()
-	seed := ix.rng.Int63()
-	ix.rngMu.Unlock()
-	return ix.SearchAutoTau(q, k, ts, te, table, ix.opts.Search, rand.New(rand.NewSource(seed)))
+	return ix.SearchAutoTau(q, k, ts, te, table, ix.opts.Search, nil)
 }
 
 // SearchAutoTau answers a TkNN query using the tuned τ for the window's
 // coverage fraction — the run-time half of §5.4.2's suggestion. The
 // fraction is computed with two binary searches, so the overhead over
-// SearchTau is O(log n).
+// SearchTau is O(log n). A nil rng draws entry points from a plan-local
+// query-hash entropy source, as in SearchTauContext.
 func (ix *Index) SearchAutoTau(q []float32, k int, ts, te int64, table *TauTable, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
+	res, _ := ix.SearchAutoTauContext(context.Background(), q, k, ts, te, table, p, rng)
+	return res
+}
+
+// SearchAutoTauContext is SearchAutoTau through the shared executor, with
+// cancellation/deadline semantics and the stage-timing outcome of
+// SearchTauContext.
+func (ix *Index) SearchAutoTauContext(ctx context.Context, q []float32, k int, ts, te int64, table *TauTable, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, exec.Outcome) {
 	ix.mu.RLock()
 	n := ix.store.Len()
 	var frac float64
@@ -187,5 +195,5 @@ func (ix *Index) SearchAutoTau(q []float32, k int, ts, te int64, table *TauTable
 		frac = float64(hi-lo) / float64(n)
 	}
 	ix.mu.RUnlock()
-	return ix.SearchTau(q, k, ts, te, table.TauFor(frac), p, rng)
+	return ix.SearchTauContext(ctx, q, k, ts, te, table.TauFor(frac), p, rng)
 }

@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Entropy is a contention-free source of per-query randomness: a seeded
+// atomic counter finalized with the splitmix64 mixer. It replaces the
+// mutex-guarded *rand.Rand the indexes used to draw graph entry points
+// from — under concurrent search load every query serialized on that one
+// mutex; an atomic add does not. The sequence is deterministic for a
+// serial caller (replay and the differential oracle depend on that) and
+// race-free for concurrent ones, at the cost of cross-goroutine
+// interleaving being scheduler-dependent — exactly the property the old
+// shared rand.Rand had.
+type Entropy struct {
+	state atomic.Uint64
+}
+
+// NewEntropy returns a source whose serial sequence is determined by seed.
+func NewEntropy(seed int64) *Entropy {
+	e := &Entropy{}
+	e.state.Store(uint64(seed))
+	return e
+}
+
+// Next returns the next 64-bit value of the sequence. Safe for concurrent
+// use.
+func (e *Entropy) Next() uint64 {
+	return mix64(e.state.Add(0x9e3779b97f4a7c15))
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0, matching
+// rand.Intn.
+func (e *Entropy) Intn(n int) int {
+	if n <= 0 {
+		panic("exec: Entropy.Intn with n <= 0")
+	}
+	// The modulo bias at realistic block sizes (n << 2^64) is far below
+	// anything a graph entry point can observe.
+	return int(e.Next() % uint64(n))
+}
+
+// mix64 is the splitmix64 finalizer (Steele, Lea, Flood 2014).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// QueryHash folds a query vector into a 64-bit value, deterministic per
+// (salt, q). Planners seed a plan-local Entropy with it to draw graph
+// entry points: the same query always walks from the same entries — fully
+// deterministic answers regardless of concurrency, call order, or worker
+// count — while distinct queries spread uniformly, which is all the
+// "random entry vertex" of Algorithm 2 line 1 actually needs.
+func QueryHash(salt uint64, q []float32) uint64 {
+	h := mix64(salt ^ 0x9e3779b97f4a7c15)
+	for _, v := range q {
+		h = mix64(h ^ uint64(math.Float32bits(v)))
+	}
+	return h
+}

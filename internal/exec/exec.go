@@ -1,0 +1,228 @@
+// Package exec is the shared query-execution layer of every index in this
+// repository. A TkNN query, whatever the index, decomposes into the same
+// shape (Algorithm 4): a set of independent per-block subtasks — a graph
+// search over a sealed block, a brute-force scan over an unindexed range —
+// whose partial result lists are merged into the final top-k. MBI, BSBF,
+// SF, and IVF each act as a *planner*: they translate a query into a Plan,
+// and this package owns everything downstream of planning:
+//
+//   - running subtasks across a bounded worker pool (intra-query
+//     parallelism over independent blocks, the dimension "Data Series
+//     Indexing Gone Parallel" identifies as where the latency wins are);
+//   - honoring context.Context cancellation and deadlines — a subtask is
+//     never started after the context is done, and expiry returns the
+//     partial results gathered so far tagged Partial instead of failing;
+//   - merging per-subtask lists with theap.Merge;
+//   - reporting per-subtask and per-stage timings for Explain plans,
+//     server responses, and metrics.
+//
+// Callers typically hold their index's read lock across Run; the executor
+// always joins its workers before returning, so data guarded by that lock
+// is never touched after Run returns (no goroutine outlives the call even
+// when the context fires — at worst Run waits for in-flight subtasks to
+// finish while skipping the rest).
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/theap"
+)
+
+// Kind distinguishes the two subtask flavors of Algorithm 4.
+type Kind int
+
+const (
+	// GraphSearch answers the subtask with a best-first proximity-graph
+	// traversal (Algorithm 2) over a sealed block.
+	GraphSearch Kind = iota
+	// BruteScan answers the subtask with an exact linear scan
+	// (Algorithm 1) — open leaves, unbuilt tails, probed IVF lists.
+	BruteScan
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if k == BruteScan {
+		return "brute-scan"
+	}
+	return "graph-search"
+}
+
+// Subtask is one independent unit of a query plan: a contiguous global
+// vector range answered by one search primitive. Subtasks of a plan must
+// cover disjoint id ranges — theap.Merge deduplicates defensively, but
+// result equivalence across worker counts relies on disjointness.
+type Subtask struct {
+	// Kind reports how the range is answered.
+	Kind Kind
+	// Lo, Hi is the global vector range the subtask covers.
+	Lo, Hi int
+	// WindowStart, WindowEnd is the time window [t_s, t_e) of the range.
+	WindowStart, WindowEnd int64
+	// Run executes the subtask and returns up to the plan's K neighbors
+	// with global ids in ascending distance order. Run is called at most
+	// once, possibly on a pool goroutine; everything it captures must be
+	// safe to read under whatever lock the caller holds across the
+	// executor. Long scans should poll ctx and return early with what
+	// they have.
+	Run func(ctx context.Context) []theap.Neighbor
+}
+
+// Plan is an ordered list of subtasks answering one query for K results.
+// Planners produce it; the Executor consumes it.
+type Plan struct {
+	// K is the result count the merged answer is capped at.
+	K int
+	// Subtasks are the independent per-block units, in timestamp order.
+	Subtasks []Subtask
+}
+
+// SubtaskResult records one subtask's execution for Explain-style
+// diagnostics.
+type SubtaskResult struct {
+	// Kind, Lo, Hi echo the subtask.
+	Kind   Kind
+	Lo, Hi int
+	// Duration is the subtask's wall-clock run time (zero when skipped).
+	Duration time.Duration
+	// Skipped reports that the context was done before the subtask
+	// started, so it contributed nothing.
+	Skipped bool
+	// Found is the number of neighbors the subtask returned.
+	Found int
+}
+
+// Outcome describes how a plan executed: the per-stage timings the server
+// exposes as tknn_search_stage_seconds, and the partial-result flag.
+type Outcome struct {
+	// Partial reports that the context was done before the plan finished:
+	// subtasks may have been skipped and in-flight scans may have
+	// truncated, so the merged results cover only the work that ran.
+	Partial bool
+	// Select is the planning stage's duration. The executor cannot
+	// measure it (planning happens in the caller); planners fill it in.
+	Select time.Duration
+	// Search is the wall-clock duration of the subtask-execution stage.
+	Search time.Duration
+	// Merge is the duration of the final theap.Merge combine.
+	Merge time.Duration
+	// Subtasks records per-subtask execution, in plan order.
+	Subtasks []SubtaskResult
+}
+
+// Executor runs plans across a bounded worker pool. The zero value is
+// valid and runs sequentially; construct with New to default to one
+// worker per CPU. Executors are stateless and safe for concurrent use.
+type Executor struct {
+	// Workers bounds the goroutines one Run may use. Values <= 1 run the
+	// plan sequentially on the calling goroutine.
+	Workers int
+}
+
+// New returns an executor with the given parallelism; workers <= 0
+// defaults to GOMAXPROCS.
+func New(workers int) Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Executor{Workers: workers}
+}
+
+// Run executes the plan and merges the per-subtask lists into the final
+// top-K. Subtasks never start after ctx is done; in-flight subtasks are
+// always joined before Run returns, so at worst cancellation latency is
+// one subtask's duration. When any subtask was skipped the outcome is
+// tagged Partial and the merged results cover only what ran — partial
+// answers instead of errors, because a late result set is still useful to
+// a serving tier while a failed query is not.
+func (e Executor) Run(ctx context.Context, p Plan) ([]theap.Neighbor, Outcome) {
+	n := len(p.Subtasks)
+	out := Outcome{Subtasks: make([]SubtaskResult, n)}
+	for i, st := range p.Subtasks {
+		out.Subtasks[i] = SubtaskResult{Kind: st.Kind, Lo: st.Lo, Hi: st.Hi, Skipped: true}
+	}
+	if n == 0 {
+		return nil, out
+	}
+
+	lists := make([][]theap.Neighbor, n)
+	runOne := func(i int) {
+		start := time.Now()
+		lists[i] = p.Subtasks[i].Run(ctx)
+		r := &out.Subtasks[i]
+		r.Duration = time.Since(start)
+		r.Skipped = false
+		r.Found = len(lists[i])
+	}
+
+	searchStart := time.Now()
+	workers := e.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out.Search = time.Since(searchStart)
+
+	completed := lists[:0]
+	for i := range lists {
+		if out.Subtasks[i].Skipped {
+			out.Partial = true
+		} else if len(lists[i]) > 0 {
+			completed = append(completed, lists[i])
+		}
+	}
+	if ctx.Err() != nil {
+		// The context fired while the plan was executing: even if no
+		// subtask was skipped outright, an in-flight scan may have
+		// truncated itself, so the answer can no longer be promised
+		// complete. Conservatively tag it.
+		out.Partial = true
+	}
+
+	mergeStart := time.Now()
+	var result []theap.Neighbor
+	switch len(completed) {
+	case 0:
+		// Nothing to merge: either every subtask was skipped or none
+		// found an in-window neighbor.
+	case 1:
+		// A single contributing list is already the answer (each subtask
+		// returns at most K, sorted ascending) — skip the merge exactly
+		// like the old single-block fast path.
+		result = completed[0]
+	default:
+		result = theap.Merge(p.K, completed...)
+	}
+	out.Merge = time.Since(mergeStart)
+	return result, out
+}

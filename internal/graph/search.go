@@ -24,15 +24,17 @@ type SearchParams struct {
 // a fixed graph + view pair, reusing its internal buffers between queries.
 // A Searcher is NOT safe for concurrent use; create one per goroutine.
 type Searcher struct {
-	visited  []uint32 // epoch-stamped instead of cleared per query
+	visited  []uint32 // epoch-stamped instead of cleared per walk
 	epoch    uint32
+	admitted []uint32 // epoch-stamped per query, dedups restarts' results
+	aEpoch   uint32
 	frontier theap.MinQueue
 }
 
 // NewSearcher returns a Searcher sized for graphs up to n nodes. It grows
 // on demand, so n is only a pre-allocation hint.
 func NewSearcher(n int) *Searcher {
-	return &Searcher{visited: make([]uint32, n)}
+	return &Searcher{visited: make([]uint32, n), admitted: make([]uint32, n)}
 }
 
 // Filter restricts which nodes may enter the result set. For a TkNN query
@@ -48,7 +50,18 @@ type Filter func(local int32) bool
 // entry should be a uniformly random node of the view (line 1 of the
 // algorithm); callers pass it in so that query-level determinism is under
 // their control.
-func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filter, p SearchParams, entry int32) []theap.Neighbor {
+//
+// Additional entries run as independent restarts: each gets its own
+// best-first walk (own frontier, own visited set) so the walks' basins
+// union — a single unlucky entry can get absorbed into a local attractor
+// the M_C cap and ε-bound will not let it escape, and with independent
+// walks a miss requires every seed to be unlucky at once (miss rates
+// multiply). The restarts share one result heap, so once an early walk
+// has found good neighbors, later walks inherit the tight ε-bound and
+// collapse after a handful of expansions; a restart only pays full price
+// when the walks before it got trapped, which is exactly when it is
+// needed.
+func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filter, p SearchParams, entry int32, more ...int32) []theap.Neighbor {
 	n := g.NumNodes()
 	if n == 0 || k <= 0 {
 		return nil
@@ -61,10 +74,43 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 	if view.Metric == vec.Euclidean {
 		eps *= eps
 	}
-	s.beginEpoch(n)
+	s.beginQuery(n)
 	result := theap.NewTopK(k)
-	s.frontier.Reset()
 
+	s.walk(g, view, q, filter, p, eps, entry, result, false)
+	for _, e := range more {
+		s.walk(g, view, q, filter, p, eps, e, result, true)
+	}
+
+	out := result.Items()
+	if invariant.Enabled {
+		for i, nb := range out {
+			invariant.Checkf(nb.ID >= 0 && int(nb.ID) < n,
+				"graph: Search result %d has id %d outside [0,%d)", i, nb.ID, n)
+			invariant.Checkf(filter == nil || filter(nb.ID),
+				"graph: Search result %d (id %d) fails the time filter", i, nb.ID)
+			invariant.Checkf(i == 0 || !theap.Less(out[i], out[i-1]),
+				"graph: Search results not ascending at %d", i)
+		}
+	}
+	return out
+}
+
+// walk is one best-first traversal (Algorithm 2) from entry, admitting
+// into the shared result heap. Each walk gets a fresh visited epoch so it
+// can traverse nodes earlier walks saw; admitted stamps persist across the
+// query's walks so a node enters the result heap at most once.
+//
+// restart marks walks after the first. They inherit the ε-bound the
+// earlier walks established, which would strand a seed that starts outside
+// it (its very first expansion gets pruned); a restart may therefore
+// always expand a neighbor strictly closer than the node being expanded —
+// pure greedy descent is allowed from anywhere, and the full ε-bounded
+// broadening resumes once the walk is inside the bound. The first walk is
+// Algorithm 2 verbatim.
+func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter Filter, p SearchParams, eps float32, entry int32, result *theap.TopK, restart bool) {
+	s.beginEpoch(g.NumNodes())
+	s.frontier.Reset()
 	s.markSeen(entry)
 	s.frontier.Push(theap.Neighbor{ID: entry, Dist: view.DistTo(q, int(entry))})
 
@@ -91,15 +137,17 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 			}
 			s.markSeen(nb)
 			d := view.DistTo(q, int(nb))
-			if bounded && d >= bound {
+			if bounded && d >= bound && !(restart && d < cur.Dist) {
 				continue
 			}
 			s.frontier.Push(theap.Neighbor{ID: nb, Dist: d})
 		}
 
 		// Lines 12-15: admit the visited node into R if it passes the
-		// time filter.
-		if filter == nil || filter(cur.ID) {
+		// time filter and no earlier walk already admitted it (a node's
+		// distance is fixed, so re-admission could only duplicate).
+		if (filter == nil || filter(cur.ID)) && s.admitted[cur.ID] != s.aEpoch {
+			s.admitted[cur.ID] = s.aEpoch
 			result.Push(cur)
 		}
 
@@ -108,18 +156,6 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 			s.frontier.TrimTo(p.MC)
 		}
 	}
-	out := result.Items()
-	if invariant.Enabled {
-		for i, nb := range out {
-			invariant.Checkf(nb.ID >= 0 && int(nb.ID) < n,
-				"graph: Search result %d has id %d outside [0,%d)", i, nb.ID, n)
-			invariant.Checkf(filter == nil || filter(nb.ID),
-				"graph: Search result %d (id %d) fails the time filter", i, nb.ID)
-			invariant.Checkf(i == 0 || !theap.Less(out[i], out[i-1]),
-				"graph: Search results not ascending at %d", i)
-		}
-	}
-	return out
 }
 
 // RandomEntry picks a uniform entry node for a graph with n nodes.
@@ -127,6 +163,23 @@ func RandomEntry(rng *rand.Rand, n int) int32 {
 	return int32(rng.Intn(n))
 }
 
+// beginQuery starts a new admitted epoch (one per Search call).
+func (s *Searcher) beginQuery(n int) {
+	if len(s.admitted) < n {
+		grown := make([]uint32, n)
+		copy(grown, s.admitted)
+		s.admitted = grown
+	}
+	s.aEpoch++
+	if s.aEpoch == 0 { // wrapped: clear and restart
+		for i := range s.admitted {
+			s.admitted[i] = 0
+		}
+		s.aEpoch = 1
+	}
+}
+
+// beginEpoch starts a new visited epoch (one per walk).
 func (s *Searcher) beginEpoch(n int) {
 	if len(s.visited) < n {
 		grown := make([]uint32, n)

@@ -14,9 +14,13 @@
 package ivf
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/bsbf"
+	"repro/internal/exec"
 	"repro/internal/kmeans"
 	"repro/internal/theap"
 	"repro/internal/vec"
@@ -120,24 +124,80 @@ func (ix *Index) Build(seed int64) error {
 // (plus a brute-force tail scan over unbuilt vectors). Results use global
 // insertion indices and ascending distance order.
 func (ix *Index) Search(q []float32, k int, ts, te int64, nprobe int) []theap.Neighbor {
+	res, _ := ix.SearchContext(context.Background(), q, k, ts, te, nprobe, exec.Executor{Workers: 1})
+	return res
+}
+
+// SearchContext answers the query through the shared executor: probed
+// lists scan as independent subtasks across x's worker pool, subtasks
+// never start after ctx is done, and expiry yields partial results tagged
+// in the outcome.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, nprobe int, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	planStart := time.Now()
+	plan := ix.Plan(q, k, ts, te, nprobe)
+	planDur := time.Since(planStart)
+	res, out := x.Run(ctx, plan)
+	out.Select = planDur
+	return res, out
+}
+
+// Plan translates the query into the shared executor's shape: centroid
+// ranking and per-list window binary searches happen at plan time (the
+// select stage), then each probed list's in-window run becomes one
+// brute-scan subtask, plus one for the unbuilt tail. Lists partition the
+// built ids and the tail is disjoint from them, so the merged result is
+// identical for every worker count.
+func (ix *Index) Plan(q []float32, k int, ts, te int64, nprobe int) exec.Plan {
+	plan := exec.Plan{K: k}
 	if k <= 0 || ts >= te {
-		return nil
+		return plan
 	}
-	top := theap.NewTopK(k)
 	if ix.centroids != nil && ix.built > 0 {
 		probes := ix.rankCentroids(q, nprobe)
 		for _, c := range probes {
-			ix.scanList(ix.lists[c], q, ts, te, top)
+			list := ix.lists[c]
+			lo := sort.Search(len(list), func(i int) bool { return ix.times[list[i]] >= ts })
+			hi := sort.Search(len(list), func(i int) bool { return ix.times[list[i]] >= te })
+			if lo >= hi {
+				continue
+			}
+			seg := list[lo:hi]
+			st := exec.Subtask{Kind: exec.BruteScan,
+				Lo: int(seg[0]), Hi: int(seg[len(seg)-1]) + 1,
+				WindowStart: ix.times[seg[0]], WindowEnd: ix.times[seg[len(seg)-1]] + 1}
+			st.Run = func(ctx context.Context) []theap.Neighbor {
+				top := theap.NewTopK(k)
+				for j, id := range seg {
+					if j%scanPoll == scanPoll-1 && ctx.Err() != nil {
+						break
+					}
+					top.Push(theap.Neighbor{ID: id, Dist: vec.Distance(ix.metric, q, ix.store.At(int(id)))})
+				}
+				return top.Items()
+			}
+			plan.Subtasks = append(plan.Subtasks, st)
 		}
 	}
-	// Tail scan over unbuilt vectors.
-	for i := ix.built; i < ix.store.Len(); i++ {
-		if t := ix.times[i]; t >= ts && t < te {
-			top.Push(theap.Neighbor{ID: int32(i), Dist: vec.Distance(ix.metric, q, ix.store.At(i))})
+	// Tail scan over unbuilt vectors; ids past built are in timestamp
+	// order, so the window is one contiguous run.
+	if tailLo, tailHi := ix.built, ix.store.Len(); tailLo < tailHi {
+		lo, hi := bsbf.WindowOf(ix.times[tailLo:tailHi], ts, te)
+		lo, hi = tailLo+lo, tailLo+hi
+		if lo < hi {
+			st := exec.Subtask{Kind: exec.BruteScan, Lo: lo, Hi: hi,
+				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1}
+			st.Run = func(ctx context.Context) []theap.Neighbor {
+				return bsbf.ScanRangeContext(ctx, ix.store, ix.metric, q, k, lo, hi)
+			}
+			plan.Subtasks = append(plan.Subtasks, st)
 		}
 	}
-	return top.Items()
+	return plan
 }
+
+// scanPoll is how many list members a probe subtask scores between context
+// polls.
+const scanPoll = 2048
 
 // rankCentroids returns the indices of the nprobe centroids nearest to q.
 func (ix *Index) rankCentroids(q []float32, nprobe int) []int32 {
@@ -158,17 +218,6 @@ func (ix *Index) rankCentroids(q []float32, nprobe int) []int32 {
 		out[i] = r.ID
 	}
 	return out
-}
-
-// scanList scores the in-window members of one inverted list. Members are
-// in ascending id order, which is timestamp order, so the window resolves
-// to a contiguous run found by binary search.
-func (ix *Index) scanList(list []int32, q []float32, ts, te int64, top *theap.TopK) {
-	lo := sort.Search(len(list), func(i int) bool { return ix.times[list[i]] >= ts })
-	hi := sort.Search(len(list), func(i int) bool { return ix.times[list[i]] >= te })
-	for _, id := range list[lo:hi] {
-		top.Push(theap.Neighbor{ID: id, Dist: vec.Distance(ix.metric, q, ix.store.At(int(id)))})
-	}
 }
 
 // Stats describes the list-size distribution, for diagnostics and tests.

@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"context"
+
 	tknn "repro"
 	"repro/internal/core"
 )
@@ -34,23 +36,30 @@ func newSystems(cfg Config) ([]*system, func(), error) {
 		}
 	}
 
-	// MBI, synchronous merges. Exact exactly when block selection chose
+	// MBI, synchronous merges, queried through the shared executor with an
+	// explicit 2-worker pool: the oracle then continuously re-checks that
+	// parallel per-block execution answers exactly like the old sequential
+	// path (plan-time entry draws + disjoint ranges make results
+	// worker-count independent). Exact exactly when block selection chose
 	// only brute-forced regions — Explain reports the plan without
 	// searching, so the classification can't drift from the real query
 	// path.
 	mbiSync, err := tknn.NewMBI(tknn.MBIOptions{
 		Dim: cfg.Dim, Metric: cfg.Metric, LeafSize: cfg.LeafSize, Seed: cfg.Seed + 1,
+		QueryWorkers: 2,
 	})
 	if err != nil {
 		closeAll()
 		return nil, nil, err
 	}
 	systems = append(systems, &system{
-		name:   "mbi-sync",
-		add:    mbiSync.Add,
-		search: mbiSync.Search,
-		exact:  func(q tknn.Query) bool { return planIsBruteForce(mbiSync.Explain(q.Start, q.End)) },
-		floor:  graphFloor,
+		name: "mbi-sync",
+		add:  mbiSync.Add,
+		search: func(q tknn.Query) ([]tknn.Result, error) {
+			return mbiSync.SearchContext(context.Background(), q)
+		},
+		exact: func(q tknn.Query) bool { return planIsBruteForce(mbiSync.Explain(q.Start, q.End)) },
+		floor: graphFloor,
 	})
 
 	// MBI with asynchronous merging. Flushing before every query makes
@@ -131,7 +140,11 @@ func newSystems(cfg Config) ([]*system, func(), error) {
 			if nprobe < 1 {
 				nprobe = 1
 			}
-			return ivfFull.SearchProbes(q, nprobe)
+			// Through the executor path: probed lists run as parallel
+			// subtasks, and the oracle checks the merged answer is still
+			// exact.
+			res, _, err := ivfFull.SearchDetailed(context.Background(), q, nprobe)
+			return res, err
 		},
 		exact: alwaysExact,
 		floor: graphFloor,

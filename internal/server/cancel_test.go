@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	tknn "repro"
+)
+
+func cancelTestServer(t *testing.T, n int) (*Server, *tknn.MBI) {
+	t.Helper()
+	ix, err := tknn.NewMBI(tknn.MBIOptions{Dim: 4, LeafSize: 16, GraphDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v := []float32{float32(i), float32(i % 7), float32(i % 3), 1}
+		if err := ix.Add(v, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(ix), ix
+}
+
+// TestSearchAbortedRequest: a request whose context is already done must
+// not execute the query plan — the executor skips every subtask and the
+// response reports a partial, empty result.
+func TestSearchAbortedRequest(t *testing.T) {
+	s, _ := cancelTestServer(t, 100)
+	body := `{"vector":[1,2,3,4],"k":5,"start":0,"end":100}`
+	req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(body))
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Partial {
+		t.Fatal("aborted search not marked partial")
+	}
+	if len(out.Results) != 0 {
+		t.Fatalf("aborted search returned %d results", len(out.Results))
+	}
+}
+
+// TestSearchTimeoutPartial: an expired -search-timeout behaves like an
+// aborted request — partial response instead of an error or a hang.
+func TestSearchTimeoutPartial(t *testing.T) {
+	s, _ := cancelTestServer(t, 100)
+	s.SetSearchTimeout(time.Nanosecond)
+	body := `{"vector":[1,2,3,4],"k":5,"start":0,"end":100}`
+	req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Partial {
+		t.Fatal("timed-out search not marked partial")
+	}
+}
+
+// TestSearchResponseStages: a normal search reports stage timings and
+// bumps the stage metrics.
+func TestSearchResponseStages(t *testing.T) {
+	s, _ := cancelTestServer(t, 100)
+	body := `{"vector":[1,2,3,4],"k":5,"start":0,"end":100}`
+	req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial {
+		t.Fatal("unexpected partial")
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if out.Stages.SearchSeconds <= 0 {
+		t.Fatalf("search stage %v, want > 0", out.Stages.SearchSeconds)
+	}
+
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, mreq)
+	text := mrec.Body.String()
+	for _, want := range []string{
+		`tknn_search_stage_seconds_bucket{stage="select",le=`,
+		`tknn_search_stage_seconds_bucket{stage="search",le=`,
+		`tknn_search_stage_seconds_bucket{stage="merge",le=`,
+		`tknn_search_stage_seconds_count{stage="search"} 1`,
+		"tknn_search_partials_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestBatchInsertAborted: a canceled request stops batch ingestion with
+// 499 and reports how far it got; nothing after the abort is inserted.
+func TestBatchInsertAborted(t *testing.T) {
+	s, ix := cancelTestServer(t, 0)
+	var b bytes.Buffer
+	b.WriteString(`{"batch":[`)
+	for i := 0; i < 10; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"vector":[1,2,3,%d],"time":%d}`, i, i)
+	}
+	b.WriteString(`]}`)
+	req := httptest.NewRequest(http.MethodPost, "/vectors", &b)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := ix.Len(); n != 0 {
+		t.Fatalf("%d vectors inserted from an aborted request", n)
+	}
+}

@@ -12,12 +12,18 @@ import (
 // The /metrics endpoint exposes them in the Prometheus text format so a
 // standard scraper can watch a tknnd deployment.
 type metrics struct {
-	inserts       atomic.Int64 // vectors successfully inserted
-	insertReqs    atomic.Int64 // /vectors requests
-	searches      atomic.Int64 // /search requests answered OK
-	clientErrors  atomic.Int64 // 4xx responses
-	searchLatency histogram
-	insertLatency histogram
+	inserts        atomic.Int64 // vectors successfully inserted
+	insertReqs     atomic.Int64 // /vectors requests
+	searches       atomic.Int64 // /search requests answered OK
+	searchPartials atomic.Int64 // searches cut short by cancel/timeout
+	clientErrors   atomic.Int64 // 4xx responses
+	searchLatency  histogram
+	insertLatency  histogram
+	// Per-stage search breakdown, exposed as one histogram family with a
+	// stage label (tknn_search_stage_seconds{stage="select"|"search"|"merge"}).
+	stageSelect histogram
+	stageSearch histogram
+	stageMerge  histogram
 }
 
 // histogram is a fixed-bucket latency histogram. Bounds are cumulative
@@ -47,15 +53,27 @@ func (h *histogram) observe(d time.Duration) {
 
 // write emits the histogram in Prometheus exposition format.
 func (h *histogram) write(w http.ResponseWriter, name string) {
+	h.writeLabeled(w, name, "")
+}
+
+// writeLabeled is write with an extra fixed label rendered into every
+// sample (e.g. `stage="select"`), letting several histograms form one
+// labeled family. An empty label emits the plain form.
+func (h *histogram) writeLabeled(w http.ResponseWriter, name, label string) {
+	sep := ""
+	if label != "" {
+		sep = label + ","
+		label = "{" + label + "}"
+	}
 	cumulative := int64(0)
 	for i, bound := range latencyBounds {
 		cumulative += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(bound)/1e6, cumulative)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, sep, float64(bound)/1e6, cumulative)
 	}
 	cumulative += h.counts[len(latencyBounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cumulative)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumUs.Load())/1e6)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cumulative)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, label, float64(h.sumUs.Load())/1e6)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, label, h.total.Load())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -86,9 +104,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tknn_client_errors_total 4xx responses.\n")
 	fmt.Fprintf(w, "# TYPE tknn_client_errors_total counter\n")
 	fmt.Fprintf(w, "tknn_client_errors_total %d\n", m.clientErrors.Load())
+	fmt.Fprintf(w, "# HELP tknn_search_partials_total Searches cut short by cancellation or -search-timeout.\n")
+	fmt.Fprintf(w, "# TYPE tknn_search_partials_total counter\n")
+	fmt.Fprintf(w, "tknn_search_partials_total %d\n", m.searchPartials.Load())
 	fmt.Fprintf(w, "# HELP tknn_search_latency_seconds Search latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_search_latency_seconds histogram\n")
 	m.searchLatency.write(w, "tknn_search_latency_seconds")
+	fmt.Fprintf(w, "# HELP tknn_search_stage_seconds Per-stage search time: planning/selection, per-block execution, merge.\n")
+	fmt.Fprintf(w, "# TYPE tknn_search_stage_seconds histogram\n")
+	m.stageSelect.writeLabeled(w, "tknn_search_stage_seconds", `stage="select"`)
+	m.stageSearch.writeLabeled(w, "tknn_search_stage_seconds", `stage="search"`)
+	m.stageMerge.writeLabeled(w, "tknn_search_stage_seconds", `stage="merge"`)
 	fmt.Fprintf(w, "# HELP tknn_insert_latency_seconds Per-request insert latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_insert_latency_seconds histogram\n")
 	m.insertLatency.write(w, "tknn_insert_latency_seconds")

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,10 @@ import (
 	"repro/internal/wal"
 )
 
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client went away before the response.
+const statusClientClosedRequest = 499
+
 // Server handles the HTTP API around one MBI index.
 type Server struct {
 	ix *tknn.MBI
@@ -38,6 +43,10 @@ type Server struct {
 	addMu   sync.Mutex
 	mux     *http.ServeMux
 	metrics metrics
+	// searchTimeout, when positive, caps each /search request's execution;
+	// on expiry the executor returns what it has, tagged partial. Set
+	// before serving.
+	searchTimeout time.Duration
 }
 
 // New wraps an index in a Server.
@@ -60,6 +69,12 @@ func NewDurable(ix *tknn.MBI, d *wal.Manager) *Server {
 	s.durable = d
 	return s
 }
+
+// SetSearchTimeout caps per-request search execution: a query still
+// running after d returns the partial results gathered so far (tagged in
+// the response) instead of holding the connection. d <= 0 disables the
+// cap. Call before serving; the value is read concurrently afterwards.
+func (s *Server) SetSearchTimeout(d time.Duration) { s.searchTimeout = d }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -102,19 +117,19 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 	case len(req.Batch) > 0 && req.Vector != nil:
 		s.error(w, http.StatusBadRequest, errors.New("provide either vector or batch, not both"))
 	case len(req.Batch) > 0:
-		s.addBatch(w, req.Batch)
+		s.addBatch(w, r.Context(), req.Batch)
 	case req.Vector != nil:
 		if req.Time == nil {
 			s.error(w, http.StatusBadRequest, errors.New("missing time"))
 			return
 		}
-		s.addBatch(w, []AddEntry{{Vector: req.Vector, Time: *req.Time}})
+		s.addBatch(w, r.Context(), []AddEntry{{Vector: req.Vector, Time: *req.Time}})
 	default:
 		s.error(w, http.StatusBadRequest, errors.New("empty request"))
 	}
 }
 
-func (s *Server) addBatch(w http.ResponseWriter, batch []AddEntry) {
+func (s *Server) addBatch(w http.ResponseWriter, ctx context.Context, batch []AddEntry) {
 	start := time.Now()
 	s.addMu.Lock()
 	defer func() {
@@ -122,6 +137,11 @@ func (s *Server) addBatch(w http.ResponseWriter, batch []AddEntry) {
 		s.metrics.insertLatency.observe(time.Since(start))
 	}()
 	ids := make([]int, 0, len(batch))
+	if err := ctx.Err(); err != nil {
+		// The client was gone before any work: nothing inserted.
+		s.error(w, statusClientClosedRequest, fmt.Errorf("request canceled: %w", err))
+		return
+	}
 	if s.durable != nil {
 		// One AppendBatch call: the whole batch is logged and fsynced
 		// (policy permitting) before any response. On a mid-batch
@@ -144,6 +164,14 @@ func (s *Server) addBatch(w http.ResponseWriter, batch []AddEntry) {
 		}
 	} else {
 		for i, e := range batch {
+			// An aborted request stops consuming the batch between
+			// entries; what was already inserted stays (appends are not
+			// transactional) and the error reports how far we got.
+			if err := ctx.Err(); err != nil {
+				s.metrics.inserts.Add(int64(len(ids)))
+				s.error(w, statusClientClosedRequest, fmt.Errorf("request canceled after %d inserted: %w", len(ids), err))
+				return
+			}
 			id := s.ix.Len()
 			if err := s.ix.Add(e.Vector, e.Time); err != nil {
 				// Report how far we got: earlier entries are committed
@@ -178,9 +206,22 @@ type SearchResult struct {
 	Dist float32 `json:"dist"`
 }
 
+// SearchStages reports one query's per-stage wall-clock seconds: block
+// selection/planning, per-block subtask execution, and the final merge.
+type SearchStages struct {
+	SelectSeconds float64 `json:"selectSeconds"`
+	SearchSeconds float64 `json:"searchSeconds"`
+	MergeSeconds  float64 `json:"mergeSeconds"`
+}
+
 // SearchResponse is the /search response body.
 type SearchResponse struct {
 	Results []SearchResult `json:"results"`
+	// Partial reports that the request was canceled or timed out mid-plan:
+	// the results cover only the blocks that executed.
+	Partial bool `json:"partial,omitempty"`
+	// Stages breaks the query's execution time down per stage.
+	Stages SearchStages `json:"stages"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -193,15 +234,38 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
+	// The request context flows into the executor: an aborted connection
+	// or an expired -search-timeout stops launching per-block subtasks and
+	// the response carries whatever completed, tagged partial.
+	ctx := r.Context()
+	if s.searchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := s.ix.Search(tknn.Query{Vector: req.Vector, K: req.K, Start: req.Start, End: req.End})
+	res, info, err := s.ix.SearchDetailed(ctx, tknn.Query{Vector: req.Vector, K: req.K, Start: req.Start, End: req.End})
 	if err != nil {
 		s.error(w, statusFor(err), err)
 		return
 	}
 	s.metrics.searchLatency.observe(time.Since(start))
 	s.metrics.searches.Add(1)
-	out := SearchResponse{Results: make([]SearchResult, len(res))}
+	s.metrics.stageSelect.observe(info.Select)
+	s.metrics.stageSearch.observe(info.Search)
+	s.metrics.stageMerge.observe(info.Merge)
+	if info.Partial {
+		s.metrics.searchPartials.Add(1)
+	}
+	out := SearchResponse{
+		Results: make([]SearchResult, len(res)),
+		Partial: info.Partial,
+		Stages: SearchStages{
+			SelectSeconds: info.Select.Seconds(),
+			SearchSeconds: info.Search.Seconds(),
+			MergeSeconds:  info.Merge.Seconds(),
+		},
+	}
 	for i, n := range res {
 		out.Results[i] = SearchResult{ID: n.ID, Time: n.Time, Dist: n.Dist}
 	}

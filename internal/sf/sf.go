@@ -7,10 +7,14 @@
 package sf
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"repro/internal/bsbf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/theap"
 	"repro/internal/vec"
@@ -102,49 +106,66 @@ func (ix *Index) Restore(g *graph.CSR, built int) error {
 // the random entry vertex (line 1) and must not be shared across
 // goroutines.
 func (ix *Index) Search(q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) []theap.Neighbor {
-	var fromGraph []theap.Neighbor
+	var entry int32
 	if ix.g != nil && ix.built > 0 {
-		view := vec.View{Store: ix.store, Lo: 0, Hi: ix.built, Metric: ix.metric}
-		filter := func(local int32) bool {
-			t := ix.times[local]
-			return t >= ts && t < te
+		entry = graph.RandomEntry(rng, ix.built)
+	}
+	res, _ := ix.SearchContext(context.Background(), q, k, ts, te, p, entry, exec.Executor{Workers: 1})
+	return res
+}
+
+// SearchContext answers the query through the shared executor. The caller
+// supplies the graph entry vertex (drawn at plan time, so results are
+// identical for every worker count) and the executor to run on; subtasks
+// never start after ctx is done and expiry yields partial results tagged
+// in the outcome.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, p graph.SearchParams, entry int32, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	planStart := time.Now()
+	plan := ix.Plan(q, k, ts, te, p, entry)
+	planDur := time.Since(planStart)
+	res, out := x.Run(ctx, plan)
+	out.Select = planDur
+	return res, out
+}
+
+// Plan translates the query into the shared executor's shape: one graph
+// subtask over the built prefix (when a graph exists) plus one brute-scan
+// subtask over the unbuilt tail's in-window run. The two cover disjoint
+// global-id ranges.
+func (ix *Index) Plan(q []float32, k int, ts, te int64, p graph.SearchParams, entry int32) exec.Plan {
+	plan := exec.Plan{K: k}
+	if k <= 0 || ts >= te {
+		return plan
+	}
+	if ix.g != nil && ix.built > 0 {
+		st := exec.Subtask{Kind: exec.GraphSearch, Lo: 0, Hi: ix.built,
+			WindowStart: ix.times[0], WindowEnd: ix.times[ix.built-1] + 1}
+		g, built, times := ix.g, ix.built, ix.times
+		st.Run = func(ctx context.Context) []theap.Neighbor {
+			view := vec.View{Store: ix.store, Lo: 0, Hi: built, Metric: ix.metric}
+			filter := func(local int32) bool {
+				t := times[local]
+				return t >= ts && t < te
+			}
+			s := ix.searchers.Get().(*graph.Searcher)
+			res := s.Search(g, view, q, k, filter, p, entry)
+			ix.searchers.Put(s)
+			return res
 		}
-		s := ix.searchers.Get().(*graph.Searcher)
-		fromGraph = s.Search(ix.g, view, q, k, filter, p, graph.RandomEntry(rng, ix.built))
-		ix.searchers.Put(s)
+		plan.Subtasks = append(plan.Subtasks, st)
 	}
 	// Tail scan over vectors the graph does not cover yet.
-	tailLo, tailHi := ix.built, ix.store.Len()
-	var fromTail []theap.Neighbor
-	if tailLo < tailHi {
-		lo, hi := windowWithin(ix.times, tailLo, tailHi, ts, te)
+	if tailLo, tailHi := ix.built, ix.store.Len(); tailLo < tailHi {
+		lo, hi := bsbf.WindowOf(ix.times[tailLo:tailHi], ts, te)
+		lo, hi = tailLo+lo, tailLo+hi
 		if lo < hi {
-			fromTail = scanGlobal(ix.store, ix.metric, q, k, lo, hi)
+			st := exec.Subtask{Kind: exec.BruteScan, Lo: lo, Hi: hi,
+				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1}
+			st.Run = func(ctx context.Context) []theap.Neighbor {
+				return bsbf.ScanRangeContext(ctx, ix.store, ix.metric, q, k, lo, hi)
+			}
+			plan.Subtasks = append(plan.Subtasks, st)
 		}
 	}
-	if fromTail == nil {
-		return fromGraph
-	}
-	return theap.Merge(k, fromGraph, fromTail)
-}
-
-// windowWithin narrows [lo, hi) to timestamps in [ts, te) assuming times is
-// sorted ascending.
-func windowWithin(times []int64, lo, hi int, ts, te int64) (int, int) {
-	for lo < hi && times[lo] < ts {
-		lo++
-	}
-	for hi > lo && times[hi-1] >= te {
-		hi--
-	}
-	return lo, hi
-}
-
-// scanGlobal brute-forces rows [lo, hi) returning global ids.
-func scanGlobal(store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
-	top := theap.NewTopK(k)
-	for i := lo; i < hi; i++ {
-		top.Push(theap.Neighbor{ID: int32(i), Dist: vec.Distance(metric, q, store.At(i))})
-	}
-	return top.Items()
+	return plan
 }

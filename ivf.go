@@ -1,9 +1,11 @@
 package tknn
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/ivf"
 )
 
@@ -68,6 +70,7 @@ type IVF struct {
 	mu         sync.RWMutex
 	sinceBuild int
 	rebuilds   int
+	x          exec.Executor
 }
 
 // NewIVF creates an empty IVF index.
@@ -78,7 +81,16 @@ func NewIVF(opts IVFOptions) (*IVF, error) {
 	return &IVF{
 		opts:  opts,
 		inner: ivf.New(opts.Dim, opts.Metric.internal(), ivf.Config{Lists: opts.Lists}),
+		x:     exec.New(0),
 	}, nil
+}
+
+// SetQueryWorkers rebounds the intra-query probe pool: n <= 0 defaults to
+// GOMAXPROCS, n == 1 scans probed lists sequentially.
+func (x *IVF) SetQueryWorkers(n int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.x = exec.New(n)
 }
 
 // Options returns the effective (defaulted) options.
@@ -137,23 +149,46 @@ func (x *IVF) Search(q Query) ([]Result, error) {
 	return x.SearchProbes(q, x.opts.Probes)
 }
 
+// SearchContext is Search through the shared executor: probed lists scan
+// as independent subtasks across the query-worker pool, and a done context
+// yields the results of the probes that ran (a partial answer, not an
+// error).
+func (x *IVF) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	res, _, err := x.SearchDetailed(ctx, q, x.opts.Probes)
+	return res, err
+}
+
 // SearchProbes is Search with an explicit probe count; nprobe >= Lists()
 // makes the answer exact within the window.
 func (x *IVF) SearchProbes(q Query, nprobe int) ([]Result, error) {
+	res, _, err := x.SearchDetailed(context.Background(), q, nprobe)
+	return res, err
+}
+
+// SearchDetailed is SearchContext with an explicit probe count, plus stage
+// timings and the Partial flag.
+func (x *IVF) SearchDetailed(ctx context.Context, q Query, nprobe int) ([]Result, SearchInfo, error) {
 	if err := validateQuery(q, x.opts.Dim); err != nil {
-		return nil, err
+		return nil, SearchInfo{}, err
 	}
 	if nprobe <= 0 {
-		return nil, fmt.Errorf("%w: nprobe = %d", ErrBadQuery, nprobe)
+		return nil, SearchInfo{}, fmt.Errorf("%w: nprobe = %d", ErrBadQuery, nprobe)
 	}
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	ns := x.inner.Search(q.Vector, q.K, q.Start, q.End, nprobe)
+	ns, eo := x.inner.SearchContext(ctx, q.Vector, q.K, q.Start, q.End, nprobe, x.x)
 	out := make([]Result, len(ns))
 	for i, n := range ns {
 		out[i] = Result{ID: int(n.ID), Time: timeOfIVF(x.inner, int(n.ID)), Dist: n.Dist}
 	}
-	return out, nil
+	return out, infoFrom(eo), nil
+}
+
+// SearchBatchContext fans queries across workers goroutines with the same
+// batch semantics as MBI.SearchBatch: the first query error aborts, and a
+// done context stops the batch with ctx.Err().
+func (x *IVF) SearchBatchContext(ctx context.Context, queries []Query, workers int) ([][]Result, error) {
+	return searchBatchCtx(ctx, queries, workers, x.SearchContext)
 }
 
 // Len implements Index.

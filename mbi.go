@@ -1,12 +1,12 @@
 package tknn
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/nndescent"
 	"repro/internal/nsw"
@@ -65,6 +65,10 @@ type MBIOptions struct {
 	// Workers bounds the goroutines used to build block graphs during a
 	// merge cascade. Default 1 (sequential).
 	Workers int
+	// QueryWorkers bounds the goroutines one query may use to search its
+	// selected blocks in parallel. Zero defaults to GOMAXPROCS; one runs
+	// each query sequentially on its calling goroutine.
+	QueryWorkers int
 	// AsyncMerge builds block graphs on a background worker so Add never
 	// blocks on graph construction; vectors whose blocks are still
 	// building are answered exactly by brute force. Call Flush to wait
@@ -127,15 +131,16 @@ func (o MBIOptions) coreOptions() (core.Options, error) {
 		return core.Options{}, err
 	}
 	return core.Options{
-		Dim:        o.Dim,
-		Metric:     o.Metric.internal(),
-		LeafSize:   o.LeafSize,
-		Tau:        o.Tau,
-		Builder:    b,
-		Search:     graph.SearchParams{MC: o.MaxCandidates, Eps: float32(o.Epsilon)},
-		Workers:    o.Workers,
-		AsyncMerge: o.AsyncMerge,
-		Seed:       o.Seed,
+		Dim:          o.Dim,
+		Metric:       o.Metric.internal(),
+		LeafSize:     o.LeafSize,
+		Tau:          o.Tau,
+		Builder:      b,
+		Search:       graph.SearchParams{MC: o.MaxCandidates, Eps: float32(o.Epsilon)},
+		Workers:      o.Workers,
+		QueryWorkers: o.QueryWorkers,
+		AsyncMerge:   o.AsyncMerge,
+		Seed:         o.Seed,
 	}, nil
 }
 
@@ -190,16 +195,34 @@ func (m *MBI) Add(v []float32, t int64) error {
 // threshold is chosen per query from the tuned table; otherwise
 // Options.Tau applies.
 func (m *MBI) Search(q Query) ([]Result, error) {
+	return m.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with cancellation/deadline semantics: block
+// subtasks never start after ctx is done, and on expiry the merged results
+// of the blocks that did run are returned — a partial answer, not an
+// error. Use SearchDetailed to observe the Partial flag and stage timings.
+func (m *MBI) SearchContext(ctx context.Context, q Query) ([]Result, error) {
+	res, _, err := m.SearchDetailed(ctx, q)
+	return res, err
+}
+
+// SearchDetailed is SearchContext plus execution details: per-stage
+// durations and whether the answer is partial.
+func (m *MBI) SearchDetailed(ctx context.Context, q Query) ([]Result, SearchInfo, error) {
 	if err := validateQuery(q, m.opts.Dim); err != nil {
-		return nil, err
+		return nil, SearchInfo{}, err
 	}
-	var ns []theap.Neighbor
+	var (
+		ns  []theap.Neighbor
+		out exec.Outcome
+	)
 	if m.tauTable != nil {
-		ns = m.inner.SearchAutoTauDefault(q.Vector, q.K, q.Start, q.End, m.tauTable)
+		ns, out = m.inner.SearchAutoTauContext(ctx, q.Vector, q.K, q.Start, q.End, m.tauTable, m.inner.Options().Search, nil)
 	} else {
-		ns = m.inner.Search(q.Vector, q.K, q.Start, q.End)
+		ns, out = m.inner.SearchContext(ctx, q.Vector, q.K, q.Start, q.End)
 	}
-	return toResults(ns, m.inner.Times()), nil
+	return toResults(ns, m.inner.Times()), infoFrom(out), nil
 }
 
 // SearchBatch answers many queries, fanning them across workers
@@ -207,59 +230,14 @@ func (m *MBI) Search(q Query) ([]Result, error) {
 // the first query error aborts the batch. Concurrent searches are safe —
 // this is plain fan-out over Search.
 func (m *MBI) SearchBatch(queries []Query, workers int) ([][]Result, error) {
-	out := make([][]Result, len(queries))
-	if workers <= 1 || len(queries) <= 1 {
-		for i, q := range queries {
-			res, err := m.Search(q)
-			if err != nil {
-				return nil, fmt.Errorf("query %d: %w", i, err)
-			}
-			out[i] = res
-		}
-		return out, nil
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	var (
-		next int64 = -1
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(queries) {
-					return
-				}
-				mu.Lock()
-				failed := err != nil
-				mu.Unlock()
-				if failed {
-					return
-				}
-				res, qerr := m.Search(queries[i])
-				if qerr != nil {
-					mu.Lock()
-					if err == nil {
-						err = fmt.Errorf("query %d: %w", i, qerr)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return m.SearchBatchContext(context.Background(), queries, workers)
+}
+
+// SearchBatchContext is SearchBatch with a context: a done context stops
+// the batch with ctx.Err() (queries already in flight still finish), in
+// addition to the first-error-aborts semantics of SearchBatch.
+func (m *MBI) SearchBatchContext(ctx context.Context, queries []Query, workers int) ([][]Result, error) {
+	return searchBatchCtx(ctx, queries, workers, m.SearchContext)
 }
 
 // AutoTuneTau implements the paper's §5.4.2 suggestion: it measures which
@@ -324,6 +302,19 @@ func (m *MBI) PendingBuilds() int { return m.inner.PendingBuilds() }
 // searching — block ranges, heights, overlap ratios, and in-window
 // counts, like an EXPLAIN plan.
 func (m *MBI) Explain(start, end int64) core.Plan { return m.inner.Explain(start, end) }
+
+// SearchExplain answers the query and returns the executed plan: the
+// Explain statics annotated with per-block durations, skip flags, found
+// counts, stage timings, and the Partial flag — EXPLAIN ANALYZE for a
+// TkNN query. It always uses Options.Tau (the tuned table, if any, is
+// not consulted), matching Explain.
+func (m *MBI) SearchExplain(ctx context.Context, q Query) ([]Result, core.Plan, error) {
+	if err := validateQuery(q, m.opts.Dim); err != nil {
+		return nil, core.Plan{}, err
+	}
+	ns, plan := m.inner.SearchExplainContext(ctx, q.Vector, q.K, q.Start, q.End, m.opts.Tau, m.inner.Options().Search, nil)
+	return toResults(ns, m.inner.Times()), plan, nil
+}
 
 // Save serializes the index to w; LoadMBI restores it. Save must not run
 // concurrently with Add (it shares Add's single-writer role); it flushes

@@ -29,9 +29,12 @@
 package tknn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -80,6 +83,45 @@ type Result struct {
 	// Dist is the metric distance to the query vector: squared L2 for
 	// Euclidean indexes, cosine distance for Angular ones.
 	Dist float32
+}
+
+// SearchInfo describes how one query executed through the shared
+// execution layer: per-stage wall-clock durations and the partial-result
+// flag. All SearchContext methods share these semantics.
+type SearchInfo struct {
+	// Partial reports that the context was done before the query plan
+	// finished executing, so the results cover only the work that ran.
+	// Context-free Search calls never set it.
+	Partial bool
+	// Select is the planning stage: block selection (MBI), window binary
+	// search (BSBF), centroid ranking (IVF), entry drawing (SF).
+	Select time.Duration
+	// Search is the per-block subtask execution stage.
+	Search time.Duration
+	// Merge is the final cross-block combine.
+	Merge time.Duration
+}
+
+func infoFrom(out exec.Outcome) SearchInfo {
+	return SearchInfo{Partial: out.Partial, Select: out.Select, Search: out.Search, Merge: out.Merge}
+}
+
+// searchBatchCtx fans queries across workers with first-error-aborts
+// batch semantics, shared by every SearchBatchContext.
+func searchBatchCtx(ctx context.Context, queries []Query, workers int, search func(context.Context, Query) ([]Result, error)) ([][]Result, error) {
+	out := make([][]Result, len(queries))
+	err := exec.ForEach(ctx, workers, len(queries), func(i int) error {
+		res, err := search(ctx, queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Index is the interface all three index types satisfy.
