@@ -8,7 +8,7 @@ GO ?= go
 # so it runs here and nowhere else.
 RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/
 
-.PHONY: check fmt vet build test race lint invariants recover bench-exec
+.PHONY: check fmt vet build test race lint invariants recover bench-exec bench-allocs allocs-gate
 
 check: fmt vet build test race lint invariants recover
 
@@ -53,3 +53,15 @@ recover:
 # BENCH_exec.json.
 bench-exec:
 	$(GO) run ./cmd/mbibench exec
+
+# Query-path heap traffic: pooled vs caller-owned-scratch entry points on
+# MBI and BSBF. Writes BENCH_allocs.json.
+bench-allocs:
+	$(GO) run ./cmd/mbibench allocs
+
+# Allocation gate: a warmed-up sequential query on the Buf entry points
+# must perform zero heap allocations (testing.AllocsPerRun). CI runs this
+# alongside the full suite; the tests skip themselves under -race and
+# -tags tknn_invariants, where the runtime itself allocates.
+allocs-gate:
+	$(GO) test -run ZeroAllocs -count=1 ./internal/core/ ./internal/bsbf/

@@ -22,6 +22,8 @@
 //	wal       ingestion throughput: no WAL vs fsync=interval vs fsync=always
 //	exec      intra-query executor: sequential vs parallel at 1/4/16
 //	          selected blocks (writes BENCH_exec.json; see -out)
+//	allocs    query-path heap traffic: pooled vs caller-owned-scratch
+//	          entry points on MBI and BSBF (writes BENCH_allocs.json)
 //	all       everything above, in order
 //
 // Flags:
@@ -32,7 +34,8 @@
 //	-workers n   goroutines for ground truth / parallel builds (default NumCPU)
 //	-profiles s  comma-separated profile subset for fig5/fig9/table4
 //	-quick       preset: -scale 0.12 with a reduced sweep
-//	-out path    JSON report path for the exec experiment (default BENCH_exec.json)
+//	-out path    JSON report path for the exec and allocs experiments
+//	             (default BENCH_exec.json / BENCH_allocs.json per experiment)
 package main
 
 import (
@@ -61,7 +64,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "worker goroutines")
 	profileList := fs.String("profiles", "", "comma-separated profile subset (default: all)")
 	quick := fs.Bool("quick", false, "fast preset (scale 0.12, coarse sweep)")
-	out := fs.String("out", "BENCH_exec.json", "JSON report path for the exec experiment")
+	out := fs.String("out", "", "JSON report path (default per experiment: BENCH_exec.json, BENCH_allocs.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +87,16 @@ func run(args []string) error {
 	profiles, err := selectProfiles(*profileList)
 	if err != nil {
 		return err
+	}
+
+	// Each JSON-writing experiment has its own default report name so
+	// `mbibench all` never overwrites one report with another; -out
+	// overrides it for a single-experiment run.
+	outPath := func(def string) string {
+		if *out != "" {
+			return *out
+		}
+		return def
 	}
 
 	w := os.Stdout
@@ -119,7 +132,11 @@ func run(args []string) error {
 	case "wal":
 		bench.WALExperiment(cfg, w)
 	case "exec":
-		if _, err := bench.ExecExperiment(cfg, w, *out); err != nil {
+		if _, err := bench.ExecExperiment(cfg, w, outPath("BENCH_exec.json")); err != nil {
+			return err
+		}
+	case "allocs":
+		if _, err := bench.AllocsExperiment(cfg, w, outPath("BENCH_allocs.json")); err != nil {
 			return err
 		}
 	case "all":
@@ -140,7 +157,10 @@ func run(args []string) error {
 		bench.IVFExperiment(cfg, profiles, w)
 		bench.AsyncMergeExperiment(cfg, w)
 		bench.WALExperiment(cfg, w)
-		if _, err := bench.ExecExperiment(cfg, w, *out); err != nil {
+		if _, err := bench.ExecExperiment(cfg, w, outPath("BENCH_exec.json")); err != nil {
+			return err
+		}
+		if _, err := bench.AllocsExperiment(cfg, w, outPath("BENCH_allocs.json")); err != nil {
 			return err
 		}
 	default:

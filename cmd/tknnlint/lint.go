@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -35,16 +36,24 @@ var ruleCatalog = []struct{ Name, Doc string }{
 	{ruleFloat32, "hot-path distance kernels (internal/vec, internal/theap, *Distance*/*Search* in internal/graph) must stay in float32: no float64 conversions, no math.* calls outside the allowlist"},
 	{ruleRand, "library packages (root package, internal/...) must not call top-level math/rand functions; thread a seeded *rand.Rand for reproducible builds"},
 	{ruleLock, "exported methods must hold the mutex that guards the fields they touch, and Lock/Unlock pairs that span branches must use defer"},
-	{ruleErr, "cmd/, internal/server, internal/wal, and internal/exec must not discard error returns from io/os/net/encoding calls"},
+	{ruleErr, "cmd/, internal/server, internal/wal, internal/exec, internal/persist, and internal/client must not discard error returns from io/os/net/encoding calls"},
 	{ruleCopylock, "values that contain sync or atomic synchronization primitives must not be copied: by-value receivers, parameters, and range variables carrying them are flagged"},
 	{ruleGoroutine, "library goroutines must carry a completion signal (channel op, select, close, or WaitGroup Done/Add/Wait) in their body; a goroutine with none can never be joined and leaks"},
 	{ruleInvariant, "calls into internal/invariant must sit inside an `if invariant.Enabled` guard so their arguments are never evaluated in default builds"},
+	{ruleHotAlloc, "functions marked //tknn:hotpath, and everything statically reachable from them, must not allocate per query: no make/new, slice/map/&T{} literals, growing appends, local-map writes, string conversions, escaping closures, defer-in-loop, or interface boxing"},
+	{ruleCtx, "query-path packages take context.Context as the first parameter, *Context functions accept one, functions holding a context never mint context.Background/TODO, and no struct stores a context"},
+	{ruleScratch, "hot-path functions holding a *Scratch must draw per-query buffers from it rather than calling New*/Get* constructors"},
 }
 
 // linter runs the rule set over a module and accumulates diagnostics.
 type linter struct {
 	mod   *Module
 	diags []Diagnostic
+
+	// hot caches the //tknn:hotpath transitive closure (see rule_hotpath.go);
+	// decls indexes every function declaration in the module for it.
+	hot   map[*types.Func]string
+	decls map[*types.Func]declSite
 }
 
 // Lint type-checks nothing itself — it walks the already-loaded module and
@@ -64,6 +73,9 @@ func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
 		l.checkCopylock(pkg)
 		l.checkGoroutineLeak(pkg)
 		l.checkInvariantGate(pkg)
+		l.checkHotpathAlloc(pkg)
+		l.checkCtxDiscipline(pkg)
+		l.checkScratchReuse(pkg)
 	}
 	diags := markSuppressed(mod, l.diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -84,18 +96,23 @@ func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
 
 // report records a finding at pos.
 func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
-	p := l.mod.Fset.Position(pos)
-	file := p.Filename
-	if rel, err := filepath.Rel(l.mod.Root, file); err == nil {
-		file = filepath.ToSlash(rel)
-	}
+	p := l.relPosition(pos)
 	l.diags = append(l.diags, Diagnostic{
-		File: file,
+		File: p.Filename,
 		Line: p.Line,
 		Col:  p.Column,
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),
 	})
+}
+
+// relPosition resolves pos with the filename made module-relative.
+func (l *linter) relPosition(pos token.Pos) token.Position {
+	p := l.mod.Fset.Position(pos)
+	if rel, err := filepath.Rel(l.mod.Root, p.Filename); err == nil {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
 }
 
 // active filters diags down to the findings not covered by a
@@ -111,13 +128,20 @@ func active(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// markSuppressed flags diagnostics covered by a `//lint:ignore <rules>
-// [reason]` comment on the same line or the line directly above. <rules>
-// is a comma-separated list of rule names. Suppressed findings stay in the
-// slice so -json can report them.
-func markSuppressed(mod *Module, diags []Diagnostic) []Diagnostic {
-	// ignores[file][line] holds the rules ignored at that line.
-	ignores := map[string]map[int]map[string]bool{}
+// ignoreMap indexes //lint:ignore directives: ignoreMap[file][line] holds
+// the rules ignored at that line.
+type ignoreMap map[string]map[int]map[string]bool
+
+// covers reports whether rule is ignored at file:line (same line or the
+// line directly above, matching markSuppressed).
+func (m ignoreMap) covers(file string, line int, rule string) bool {
+	lines := m[file]
+	return lines != nil && (lines[line][rule] || lines[line-1][rule])
+}
+
+// buildIgnores collects every //lint:ignore directive in the module.
+func buildIgnores(mod *Module) ignoreMap {
+	ignores := ignoreMap{}
 	for _, pkg := range mod.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -144,6 +168,15 @@ func markSuppressed(mod *Module, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
+	return ignores
+}
+
+// markSuppressed flags diagnostics covered by a `//lint:ignore <rules>
+// [reason]` comment on the same line or the line directly above. <rules>
+// is a comma-separated list of rule names. Suppressed findings stay in the
+// slice so -json can report them.
+func markSuppressed(mod *Module, diags []Diagnostic) []Diagnostic {
+	ignores := buildIgnores(mod)
 	for i, d := range diags {
 		lines := ignores[d.File]
 		if lines != nil && (lines[d.Line][d.Rule] || lines[d.Line-1][d.Rule]) {

@@ -87,6 +87,9 @@ func TestCaseShape(t *testing.T) {
 		{dir: "copylock", rule: ruleCopylock, minHits: 4},
 		{dir: "goroutineleak", rule: ruleGoroutine, minHits: 3},
 		{dir: "invariantgate", rule: ruleInvariant, minHits: 2},
+		{dir: "hotpathalloc", rule: ruleHotAlloc, minHits: 10},
+		{dir: "ctxdiscipline", rule: ruleCtx, minHits: 4},
+		{dir: "scratchreuse", rule: ruleScratch, minHits: 2},
 		{dir: "clean", wantNone: true},
 	}
 	for _, tc := range cases {
@@ -126,6 +129,9 @@ func TestSuppression(t *testing.T) {
 		{dir: "copylock", file: "internal/pool/pool.go", banned: "Snapshot", present: "Reset"},
 		{dir: "goroutineleak", file: "internal/worker/worker.go", banned: "daemonLoop", present: "spin"},
 		{dir: "invariantgate", file: "internal/tree/tree.go", banned: "Checkf", present: "Check"},
+		{dir: "hotpathalloc", file: "internal/index/index.go", banned: "index.go:91", present: "index.go:84"},
+		{dir: "ctxdiscipline", file: "internal/exec/exec.go", banned: "LegacyContext", present: "SearchContext"},
+		{dir: "scratchreuse", file: "internal/query/query.go", banned: "query.go:34", present: "NewScratch"},
 	}
 	for _, c := range checks {
 		t.Run(c.dir, func(t *testing.T) {

@@ -15,14 +15,23 @@
 //	                  global generator
 //	lock-discipline   exported methods hold the mutex guarding the fields
 //	                  they touch; branchy Lock/Unlock pairs use defer
-//	unchecked-errors  cmd/, internal/server, internal/wal, and
-//	                  internal/exec check io/os/net/encoding errors
+//	unchecked-errors  cmd/, internal/server, internal/wal, internal/exec,
+//	                  internal/persist, and internal/client check
+//	                  io/os/net/encoding errors
 //	copylock          no by-value receivers, parameters, or range
 //	                  variables carrying sync/atomic primitives
 //	goroutine-leak    library goroutines carry a completion signal
 //	                  (channel op, select, close, WaitGroup method)
 //	invariant-gate    internal/invariant calls sit inside an
 //	                  `if invariant.Enabled` guard
+//	hotpath-alloc     //tknn:hotpath functions and their transitive
+//	                  callees perform no per-query heap allocations
+//	ctx-discipline    query-path packages take context first, *Context
+//	                  functions accept one, held contexts are threaded
+//	                  (never replaced by Background/TODO), and no
+//	                  struct stores a context
+//	scratch-reuse     hot functions holding a *Scratch draw per-query
+//	                  buffers from it instead of New*/Get* constructors
 //
 // Any finding can be suppressed, one site at a time, with a trailing or
 // preceding comment:

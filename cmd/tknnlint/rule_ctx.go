@@ -1,0 +1,129 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule ctx-discipline.
+//
+// The query path propagates cancellation through context.Context: a
+// deadline set at the server must reach every scan and traversal, or the
+// executor's partial-results contract silently degrades to "runs to
+// completion". The discipline, enforced in the query-path packages
+// (internal/{core,graph,theap,vec,exec,bsbf,sf,ivf}):
+//
+//   - a function that takes a context takes it as its first parameter
+//     (after the receiver), per the context package's own convention;
+//   - a function whose name ends in "Context" actually accepts one —
+//     the suffix is this repository's marker for the cancellable variant;
+//   - a function that was handed a context never manufactures a fresh
+//     root with context.Background or context.TODO — that drops the
+//     caller's deadline on the floor;
+//   - no struct stores a context.Context field: contexts are call-scoped,
+//     and a stored context outlives the call that created it (the
+//     contract context.Context documents itself).
+const ruleCtx = "ctx-discipline"
+
+// ctxScope is the rule's package scope: the layers a query's context must
+// traverse.
+func ctxScope(rel string) bool {
+	switch rel {
+	case "internal/core", "internal/graph", "internal/theap", "internal/vec",
+		"internal/exec", "internal/bsbf", "internal/sf", "internal/ivf":
+		return true
+	}
+	return false
+}
+
+func (l *linter) checkCtxDiscipline(pkg *Package) {
+	if !ctxScope(pkg.Rel) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				l.checkCtxFunc(pkg, decl)
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						t := pkg.Info.Types[field.Type].Type
+						if t != nil && isContextType(t) {
+							l.report(field.Pos(), ruleCtx,
+								"struct %s stores a context.Context; contexts are call-scoped — pass one per call instead",
+								ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (l *linter) checkCtxFunc(pkg *Package, decl *ast.FuncDecl) {
+	ctxIndex := -1
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		t := pkg.Info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) && ctxIndex < 0 {
+			ctxIndex = idx
+		}
+		idx += n
+	}
+
+	name := decl.Name.Name
+	if ctxIndex > 0 {
+		l.report(decl.Pos(), ruleCtx,
+			"%s takes context.Context as parameter %d; the context goes first, before the data it scopes",
+			name, ctxIndex+1)
+	}
+	if ctxIndex < 0 && len(name) > len("Context") && name[len(name)-len("Context"):] == "Context" {
+		l.report(decl.Pos(), ruleCtx,
+			"%s is named *Context but accepts no context.Context; take one or rename it",
+			name)
+	}
+
+	if ctxIndex < 0 || decl.Body == nil {
+		return
+	}
+	// The function was handed a context: flag fresh roots minted inside.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			l.report(call.Pos(), ruleCtx,
+				"context.%s inside a function that already has a context drops the caller's cancellation; thread the parameter through",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -29,9 +29,13 @@ func uncheckedErrScope(rel string) bool {
 	// there silently voids the durability guarantee. internal/exec is in
 	// scope because the shared query executor sits under every index's
 	// search path: an error swallowed there silently degrades answers for
-	// all of them.
+	// all of them. internal/persist is the snapshot codec — a swallowed
+	// write or close error there ships a torn index file — and
+	// internal/client is the other end of the daemon's HTTP boundary,
+	// where a dropped body-close leaks connections under load.
 	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" ||
-		rel == "internal/wal" || rel == "internal/exec"
+		rel == "internal/wal" || rel == "internal/exec" ||
+		rel == "internal/persist" || rel == "internal/client"
 }
 
 func watchedErrPkg(path string) bool {

@@ -1,0 +1,47 @@
+// Package exec exercises the ctx-discipline rule: context parameters out
+// of first position, *Context names without a context, dropped caller
+// contexts, and stored contexts — next to the clean shapes that must stay
+// silent.
+package exec
+
+import "context"
+
+// Runner stores a context, which outlives the call that created it.
+type Runner struct {
+	ctx context.Context // flagged: stored context
+	n   int
+}
+
+// ScanContext takes its context after the data it scopes.
+func ScanContext(n int, ctx context.Context) int { // flagged: context not first
+	return drain(ctx, n)
+}
+
+// SearchContext promises a cancellable variant but accepts no context.
+func SearchContext(q []float32, k int) int { // flagged: *Context without a context
+	return k + len(q)
+}
+
+// Run was handed a context and replaces it with a fresh root.
+func Run(ctx context.Context, n int) int {
+	return drain(context.Background(), n) // flagged: drops caller's cancellation
+}
+
+// LegacyContext predates the context plumbing; the wire format pins its
+// signature.
+//lint:ignore ctx-discipline legacy signature kept for wire compatibility
+func LegacyContext(n int) int {
+	return n
+}
+
+// Drain is the clean shape: context first, threaded through.
+func Drain(ctx context.Context, n int) int {
+	return drain(ctx, n)
+}
+
+func drain(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+// Package index exercises the hotpath-alloc rule: per-query heap
+// allocations inside a //tknn:hotpath function and its transitive
+// callees, next to the exempt shapes (reused selector state, caller
+// buffers, resliced locals, invariant-guarded blocks) that must stay
+// silent.
+package index
+
+import "lintcase/internal/invariant"
+
+// Item is one scored result.
+type Item struct {
+	ID   int32
+	Dist float32
+}
+
+// state carries the reusable buffers the exempt sites draw from.
+type state struct {
+	buf   []Item
+	seen  map[int32]bool
+	items []Item
+}
+
+var backing []byte
+
+func payload() []byte { return backing }
+
+func release(i int) {}
+
+func sink(v any) {}
+
+func filterWith(f func(Item) bool) {}
+
+// Search is the corpus's hot root.
+//
+//tknn:hotpath
+func (s *state) Search(dst []Item, q []float32, k int) []Item {
+	ids := make([]int32, k) // flagged: make
+	_ = ids
+	extra := new(Item) // flagged: new
+	_ = extra
+	weights := []float32{1, 2, 3} // flagged: slice literal
+	_ = weights
+	boxed := &Item{ID: 1} // flagged: address-taken composite
+	_ = boxed
+	var grown []Item
+	grown = append(grown, Item{ID: 2}) // flagged: growing a fresh local
+	_ = grown
+	lookup := map[int32]bool{} // flagged: map literal
+	lookup[3] = true           // flagged: local map write
+	name := string(payload())  // flagged: slice-to-string conversion
+	_ = name
+	escape := func() int { return k } // flagged: closure outlives statement
+	_ = escape
+	for i := 0; i < k; i++ {
+		defer release(i) // flagged: defer in loop
+	}
+	sink(Item{ID: 4}) // flagged: struct boxed into interface parameter
+
+	// Exempt shapes below: reused or caller-owned state never fires.
+	s.items = append(s.items, Item{ID: 5})
+	dst = append(dst[:0], s.items...)
+	tmp := s.buf[:0]
+	tmp = append(tmp, Item{ID: 6})
+	_ = tmp
+	s.seen[9] = true
+	filterWith(func(it Item) bool { return it.ID > 0 })
+	if invariant.Enabled {
+		audit := make([]Item, k)
+		invariant.Checkf(len(audit) == k, "audit sized %d", len(audit))
+	}
+
+	//lint:ignore hotpath-alloc cold-start growth retained across queries
+	s.buf = make([]Item, 0, k)
+
+	helperScore(q)
+
+	//lint:ignore hotpath-alloc coldInit runs once per index, not per query
+	coldInit(k)
+	return dst
+}
+
+// helperScore is hot only transitively — reached from Search.
+func helperScore(q []float32) {
+	acc := make([]float32, len(q)) // flagged: make in a transitive callee
+	_ = acc
+}
+
+// coldInit allocates freely: the suppressed call edge in Search keeps it
+// out of the hot set.
+func coldInit(k int) {
+	warm := make([]Item, k)
+	_ = warm
+}
+
+// Rebuild is unreachable from any hot root; its allocations are fine.
+func Rebuild(n int) []Item {
+	return make([]Item, n)
+}

@@ -1,0 +1,9 @@
+// Package invariant mirrors the real repository's debug-assertion shim so
+// the corpus can exercise the `if invariant.Enabled` exemption.
+package invariant
+
+// Enabled reports whether assertions compile in.
+const Enabled = false
+
+// Checkf asserts cond.
+func Checkf(cond bool, format string, args ...any) {}

@@ -1,0 +1,45 @@
+// Package query exercises the scratch-reuse rule: hot functions that hold
+// a scratch yet build fresh per-query state through New*/Get*
+// constructors.
+package query
+
+import "sync"
+
+// Scratch holds the reusable per-query buffers.
+type Scratch struct {
+	Heap  []int32
+	Items []int32
+}
+
+var pool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch borrows a pooled scratch.
+func GetScratch() *Scratch { return pool.Get().(*Scratch) }
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch {
+	var zero Scratch
+	return &zero
+}
+
+// Search is the corpus's hot root; it already holds scr.
+//
+//tknn:hotpath
+func Search(scr *Scratch, k int) []int32 {
+	fresh := GetScratch() // flagged: scratch in hand, pool hit anyway
+	_ = fresh
+	scr2 := NewScratch() // flagged: scratch in hand, fresh one built
+	_ = scr2
+	//lint:ignore scratch-reuse searcher pool grows once at cold start
+	warm := NewScratch()
+	_ = warm
+	scr.Heap = scr.Heap[:0]
+	return scr.Heap
+}
+
+// Plan has no scratch in scope, so constructors are its own business.
+//
+//tknn:hotpath
+func Plan(k int) *Scratch {
+	return GetScratch()
+}

@@ -1,0 +1,10 @@
+// Package client is the HTTP-client scope: a dropped body-close leaks
+// connections under load.
+package client
+
+import "io"
+
+func drain(body io.ReadCloser) {
+	io.Copy(io.Discard, body) // discarded copy count and error: flagged
+	body.Close()              // discarded close error: flagged
+}

@@ -1,0 +1,10 @@
+// Package persist is the snapshot-codec scope: a dropped write or close
+// error here ships a torn index file.
+package persist
+
+import "os"
+
+func snapshot(f *os.File, payload []byte) {
+	f.Write(payload) // discarded write error: flagged
+	_ = f.Close()    // explicit discard: clean
+}

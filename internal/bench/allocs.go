@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bsbf"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/nndescent"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// AllocsPoint is one measured (index, entry point) pair of the allocation
+// experiment: the same index and queries driven through the pooled
+// convenience path and through the caller-owned-scratch path that the
+// allocation gate pins at zero.
+type AllocsPoint struct {
+	// Index is the planner under measurement: "mbi" or "bsbf".
+	Index string `json:"index"`
+	// Variant is the entry point: "pooled" (SearchContext — borrows a
+	// scratch, copies results out) or "buf" (SearchBuf/SearchTauBuf —
+	// caller-owned scratch and destination, zero steady-state allocations).
+	Variant string `json:"variant"`
+	// AllocsPerQuery and BytesPerQuery are heap-allocation counts and
+	// bytes per query, measured over the full query set after warmup.
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+	// NsPerQuery is mean per-query latency in nanoseconds over the same
+	// measured pass.
+	NsPerQuery float64 `json:"ns_per_query"`
+}
+
+// AllocsReport is the experiment output, serialized to BENCH_allocs.json:
+// the allocation profile of the query hot path, before (pooled) versus
+// after (caller-owned buffers), on both the MBI and BSBF planners.
+type AllocsReport struct {
+	Dim      int           `json:"dim"`
+	TrainN   int           `json:"train_n"`
+	LeafSize int           `json:"leaf_size"`
+	K        int           `json:"k"`
+	Queries  int           `json:"queries"`
+	Rounds   int           `json:"rounds"`
+	NumCPU   int           `json:"num_cpu"`
+	Tau      float64       `json:"tau"`
+	Points   []AllocsPoint `json:"points"`
+}
+
+// allocsK is the result count; the allocation profile is insensitive to k
+// once buffers are warm, so one paper value suffices.
+const allocsK = 10
+
+// AllocsExperiment measures heap allocations per query on the MBI and
+// BSBF query paths, comparing the pooled convenience entry points against
+// the caller-owned-scratch Buf entry points the allocation gate
+// (TestSearchTauBufZeroAllocs, TestSearchBufZeroAllocs) pins at zero.
+// Queries run sequentially (Workers=1 executors) on a single OS thread:
+// parallel fan-out allocates goroutine bookkeeping by design, and the gate
+// scope is the per-query planner/executor/merge path, not the fan-out.
+func AllocsExperiment(c Config, w io.Writer, jsonPath string) (AllocsReport, error) {
+	leaves := 64
+	sl := int(64*c.Scale + 0.5)
+	if sl < 24 {
+		sl = 24
+	}
+	p := dataset.Profile{
+		Name: "allocs-synth", Dim: 32, Metric: vec.Euclidean,
+		TrainN: leaves * sl, TestN: c.QueriesPerPoint,
+		Clusters: 16, ClusterStd: 0.9, Background: 0.1,
+		LeafSize: sl, Tau: 0.5, GraphK: 8, MC: 24,
+	}
+	d := dataset.Generate(p, c.Seed)
+
+	sp := graph.SearchParams{MC: effMC(p.MC, allocsK), Eps: 1.1}
+	mbi, err := core.New(core.Options{
+		Dim: p.Dim, Metric: p.Metric, LeafSize: sl, Tau: p.Tau,
+		Builder: nndescent.MustNew(nndescent.DefaultConfig(p.GraphK)),
+		Search:  sp, Workers: c.Workers, QueryWorkers: 1, Seed: c.Seed,
+	})
+	if err != nil {
+		return AllocsReport{}, fmt.Errorf("allocs experiment: %w", err)
+	}
+	flat := bsbf.New(p.Dim, p.Metric)
+	for i := 0; i < d.Train.Len(); i++ {
+		if err := mbi.Append(d.Train.At(i), d.Times[i]); err != nil {
+			return AllocsReport{}, fmt.Errorf("allocs experiment: append: %w", err)
+		}
+		if err := flat.Append(d.Train.At(i), d.Times[i]); err != nil {
+			return AllocsReport{}, fmt.Errorf("allocs experiment: append: %w", err)
+		}
+	}
+
+	// A multi-block window (half the data, leaf-misaligned) so MBI plans
+	// graph subtasks plus an open-leaf scan, and BSBF scans several chunks.
+	n := int64(d.Train.Len())
+	ts, te := n/4+3, n/4+3+n/2
+
+	rounds := 3
+	report := AllocsReport{
+		Dim: p.Dim, TrainN: p.TrainN, LeafSize: sl, K: allocsK,
+		Queries: len(d.Test), Rounds: rounds, NumCPU: runtime.NumCPU(),
+		Tau: p.Tau,
+	}
+
+	ctx := context.Background()
+	seq := exec.Executor{Workers: 1}
+	scr := core.NewScratch()
+	xscr := exec.NewScratch()
+	var dst []theap.Neighbor
+
+	measurements := []struct {
+		index, variant string
+		query          func(q []float32)
+	}{
+		{"mbi", "pooled", func(q []float32) {
+			_, _ = mbi.SearchTauContext(ctx, q, allocsK, ts, te, p.Tau, sp, nil)
+		}},
+		{"mbi", "buf", func(q []float32) {
+			dst, _ = mbi.SearchTauBuf(ctx, scr, dst, q, allocsK, ts, te, p.Tau, sp, nil)
+		}},
+		{"bsbf", "pooled", func(q []float32) {
+			_, _ = flat.SearchContext(ctx, q, allocsK, ts, te, seq)
+		}},
+		{"bsbf", "buf", func(q []float32) {
+			dst, _ = flat.SearchBuf(ctx, xscr, dst, q, allocsK, ts, te, seq)
+		}},
+	}
+
+	header(w, "Allocation experiment (query-path heap traffic)",
+		fmt.Sprintf("n=%d, S_L=%d (%d leaves), dim=%d, k=%d, window=[%d,%d), %d queries x %d rounds, sequential",
+			p.TrainN, sl, leaves, p.Dim, allocsK, ts, te, len(d.Test), rounds))
+	fmt.Fprintf(w, "%-6s %-8s %14s %13s %12s\n",
+		"index", "variant", "allocs/query", "bytes/query", "ns/query")
+
+	for _, m := range measurements {
+		pt := measureAllocs(m.index, m.variant, rounds, d.Test, m.query)
+		report.Points = append(report.Points, pt)
+		fmt.Fprintf(w, "%-6s %-8s %14.2f %13.1f %12.0f\n",
+			pt.Index, pt.Variant, pt.AllocsPerQuery, pt.BytesPerQuery, pt.NsPerQuery)
+	}
+
+	if jsonPath != "" {
+		if err := writeAllocsJSON(jsonPath, report); err != nil {
+			return report, err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	}
+	return report, nil
+}
+
+// measureAllocs drives every query through fn for rounds passes and reads
+// the heap counters around the measured passes, testing.AllocsPerRun
+// style: one warmup pass grows the reusable buffers to their steady state,
+// and GOMAXPROCS is pinned to 1 so no other goroutine's allocations land
+// in the window.
+func measureAllocs(index, variant string, rounds int, queries [][]float32, fn func(q []float32)) AllocsPoint {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	for _, q := range queries {
+		fn(q)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			fn(q)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	total := float64(rounds * len(queries))
+	return AllocsPoint{
+		Index:          index,
+		Variant:        variant,
+		AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / total,
+		BytesPerQuery:  float64(after.TotalAlloc-before.TotalAlloc) / total,
+		NsPerQuery:     float64(elapsed.Nanoseconds()) / total,
+	}
+}
+
+func writeAllocsJSON(path string, report AllocsReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("allocs experiment: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("allocs experiment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("allocs experiment: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+//go:build !race
+
+package bsbf
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/invariant"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// TestSearchBufZeroAllocs is the allocation gate on the baseline query
+// path: after warmup, a sequential SearchBuf query — window binary search,
+// chunked brute scan, and merge — must not touch the heap. The plan,
+// per-chunk heaps, and merge storage all come from the caller-owned
+// exec.Scratch, and results land in dst's retained backing.
+//
+// Workers=1 keeps execution on the caller's goroutine; parallel fan-out
+// allocates goroutine bookkeeping that the gate deliberately excludes.
+// Race builds skip via the build tag — the race runtime allocates.
+func TestSearchBufZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate inside guarded blocks")
+	}
+	const dim, n = 16, 1024
+	ix := New(dim, vec.Euclidean)
+	rng := rand.New(rand.NewSource(11))
+	q := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		if err := ix.Append(v, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 17 {
+			copy(q, v)
+		}
+	}
+
+	ctx := context.Background()
+	scr := exec.NewScratch()
+	var dst []theap.Neighbor
+	x := exec.Executor{Workers: 1}
+	const k, ts, te = 10, 100, 900
+
+	for i := 0; i < 8; i++ {
+		dst, _ = ix.SearchBuf(ctx, scr, dst, q, k, ts, te, x)
+	}
+	if len(dst) != k {
+		t.Fatalf("warmup query returned %d results, want %d", len(dst), k)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, _ = ix.SearchBuf(ctx, scr, dst, q, k, ts, te, x)
+	})
+	if allocs != 0 {
+		t.Errorf("SearchBuf allocates %.1f times per query, want 0", allocs)
+	}
+}

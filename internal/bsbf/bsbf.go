@@ -80,11 +80,27 @@ func (ix *Index) Window(ts, te int64) (lo, hi int) {
 }
 
 // WindowOf binary-searches a sorted timestamp slice for the half-open
-// window [ts, te), returning the corresponding index range [lo, hi).
+// window [ts, te), returning the corresponding index range [lo, hi). The
+// search is hand-rolled rather than sort.Search so the hot path carries no
+// closures.
+//
+//tknn:hotpath
 func WindowOf(times []int64, ts, te int64) (lo, hi int) {
-	lo = sort.Search(len(times), func(i int) bool { return times[i] >= ts })
-	hi = sort.Search(len(times), func(i int) bool { return times[i] >= te })
-	return lo, hi
+	return lowerBound(times, ts), lowerBound(times, te)
+}
+
+// lowerBound returns the index of the first timestamp >= t.
+func lowerBound(times []int64, t int64) int {
+	lo, hi := 0, len(times)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if times[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Search returns the exact k nearest neighbors to q among vectors with
@@ -98,12 +114,43 @@ func (ix *Index) Search(q []float32, k int, ts, te int64) []theap.Neighbor {
 
 // SearchContext answers the query through the shared executor: the plan's
 // scan chunks run across x's worker pool, subtasks never start after ctx
-// is done, and expiry yields partial results tagged in the outcome.
+// is done, and expiry yields partial results tagged in the outcome. It
+// borrows a pooled scratch and copies the results out; SearchBuf is the
+// allocation-free variant.
 func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	scr := exec.GetScratch()
+	res, out := ix.searchScratch(ctx, scr, q, k, ts, te, x)
+	res = exec.CopyNeighbors(res)
+	out = out.Detach()
+	exec.PutScratch(scr)
+	return res, out
+}
+
+// SearchBuf is SearchContext with caller-owned buffers: the query's plan,
+// heaps, and merge storage come from scr, and the merged results are
+// appended into dst[:0], whose grown backing the caller keeps across
+// queries. A warmed-up sequential query performs zero heap allocations.
+// Outcome.Subtasks aliases scr and is valid until scr's next query.
+//
+//tknn:hotpath
+func (ix *Index) SearchBuf(ctx context.Context, scr *exec.Scratch, dst []theap.Neighbor, q []float32, k int, ts, te int64, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	res, out := ix.searchScratch(ctx, scr, q, k, ts, te, x)
+	dst = append(dst[:0], res...)
+	return dst, out
+}
+
+// searchScratch plans into scr and runs: the shared core of SearchContext
+// and SearchBuf. Results alias scr.
+func (ix *Index) searchScratch(ctx context.Context, scr *exec.Scratch, q []float32, k int, ts, te int64, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
 	planStart := time.Now()
-	plan := ix.Plan(q, k, ts, te)
+	plan := exec.Plan{K: k, Query: q, Subtasks: scr.Subtasks[:0]}
+	if k > 0 && ts < te {
+		lo, hi := ix.Window(ts, te)
+		scanPlanInto(&plan, ix.store, ix.metric, ix.times, lo, hi)
+	}
+	scr.Subtasks = plan.Subtasks[:0]
 	planDur := time.Since(planStart)
-	res, out := x.Run(ctx, plan)
+	res, out := x.RunScratch(ctx, plan, scr)
 	out.Select = planDur
 	return res, out
 }
@@ -115,7 +162,7 @@ func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te i
 // count.
 func (ix *Index) Plan(q []float32, k int, ts, te int64) exec.Plan {
 	if k <= 0 || ts >= te {
-		return exec.Plan{K: k}
+		return exec.Plan{K: k, Query: q}
 	}
 	lo, hi := ix.Window(ts, te)
 	return ScanPlan(ix.store, ix.metric, ix.times, q, k, lo, hi)
@@ -131,64 +178,48 @@ const ScanChunk = 8192
 // store; times (when non-empty) annotates each chunk's subtask with its
 // time window.
 func ScanPlan(store *vec.Store, metric vec.Metric, times []int64, q []float32, k, lo, hi int) exec.Plan {
-	plan := exec.Plan{K: k}
+	plan := exec.Plan{K: k, Query: q}
 	if k <= 0 || lo >= hi {
 		return plan
 	}
+	scanPlanInto(&plan, store, metric, times, lo, hi)
+	return plan
+}
+
+// scanPlanInto appends the window's scan chunks to plan as data-only
+// subtasks (the executor's built-in scan kernel runs them).
+func scanPlanInto(plan *exec.Plan, store *vec.Store, metric vec.Metric, times []int64, lo, hi int) {
 	for start := lo; start < hi; start += ScanChunk {
 		end := start + ScanChunk
 		if end > hi {
 			end = hi
 		}
-		st := exec.Subtask{Kind: exec.BruteScan, Lo: start, Hi: end}
+		st := exec.Subtask{Kind: exec.BruteScan, Lo: start, Hi: end,
+			Store: store, Metric: metric, ScanLo: start, ScanHi: end}
 		if len(times) >= end {
 			st.WindowStart, st.WindowEnd = times[start], times[end-1]+1
 		}
-		lo, hi := start, end
-		st.Run = func(ctx context.Context) []theap.Neighbor {
-			return ScanRangeContext(ctx, store, metric, q, k, lo, hi)
-		}
 		plan.Subtasks = append(plan.Subtasks, st)
 	}
-	return plan
 }
 
 // ScanRange brute-force scans global rows [lo, hi) of store, returning the
 // k nearest to q with global IDs. It is the BruteForce step of Algorithm 1,
-// shared with MBI's open-leaf handling.
+// shared with MBI's open-leaf handling and the dataset oracle.
 func ScanRange(store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
-	if k <= 0 || lo >= hi {
-		return nil
-	}
-	top := theap.NewTopK(k)
-	for i := lo; i < hi; i++ {
-		d := vec.Distance(metric, q, store.At(i))
-		top.Push(theap.Neighbor{ID: int32(i), Dist: d})
-	}
-	return top.Items()
+	return ScanRangeContext(context.Background(), store, metric, q, k, lo, hi)
 }
 
-// scanPoll is how many rows ScanRangeContext scans between context polls:
-// rare enough to stay off the hot path, frequent enough that cancelling a
-// scan takes microseconds.
-const scanPoll = 2048
-
-// ScanRangeContext is ScanRange with cancellation: the scan polls ctx
-// every scanPoll rows and, when the context is done, returns the best
-// neighbors found in the prefix scanned so far — a truncated answer, never
-// an error. The executor tags the outcome Partial whenever the context
-// fired mid-plan, so truncation is always reported.
+// ScanRangeContext is ScanRange with cancellation, delegating to the
+// executor's scan kernel: when the context fires mid-scan it returns the
+// best neighbors found in the prefix scanned so far — a truncated answer,
+// never an error. The executor tags the outcome Partial whenever the
+// context fired mid-plan, so truncation is always reported.
 func ScanRangeContext(ctx context.Context, store *vec.Store, metric vec.Metric, q []float32, k int, lo, hi int) []theap.Neighbor {
 	if k <= 0 || lo >= hi {
 		return nil
 	}
 	top := theap.NewTopK(k)
-	for i := lo; i < hi; i++ {
-		if (i-lo)%scanPoll == scanPoll-1 && ctx.Err() != nil {
-			break
-		}
-		d := vec.Distance(metric, q, store.At(i))
-		top.Push(theap.Neighbor{ID: int32(i), Dist: d})
-	}
+	exec.ScanInto(ctx, top, store, metric, q, lo, hi)
 	return top.Items()
 }

@@ -149,8 +149,10 @@ func responseError(resp *http.Response) error {
 	return fmt.Errorf("client: %s", resp.Status)
 }
 
-// drain discards and closes the body so the connection is reused.
+// drain discards and closes the body so the connection is reused. Both
+// steps are best-effort: the response has already been decoded (or
+// rejected), so a failure here costs at most one connection.
 func drain(resp *http.Response) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-	resp.Body.Close()
+	_ = resp.Body.Close()
 }

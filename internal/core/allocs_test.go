@@ -1,0 +1,57 @@
+//go:build !race
+
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/theap"
+)
+
+// TestSearchTauBufZeroAllocs is the allocation gate on the MBI query path:
+// after warmup, a sequential SearchTauBuf query — block selection, entry
+// seeding, graph search, brute scan, and merge — must not touch the heap.
+// Every buffer comes from the caller-owned Scratch or dst, so any regression
+// here means a per-query allocation crept back into the hot path.
+//
+// The gate runs with QueryWorkers=1: parallel fan-out spawns goroutines,
+// whose stacks the accounting would charge to the query. The file is
+// excluded from race builds for the same reason — the race runtime
+// instruments allocations of its own.
+func TestSearchTauBufZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate inside guarded blocks")
+	}
+	opts := testOptions(16)
+	opts.QueryWorkers = 1
+	ix, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := fill(t, ix, 7, 320)
+
+	ctx := context.Background()
+	scr := NewScratch()
+	var dst []theap.Neighbor
+	p := graph.SearchParams{MC: 32, Eps: 1.2}
+	q := vecs[17]
+	const k, ts, te = 10, 40, 280 // multi-block window: graph + leaf scan subtasks
+
+	// Warmup grows scr and dst to their steady-state capacities.
+	for i := 0; i < 8; i++ {
+		dst, _ = ix.SearchTauBuf(ctx, scr, dst, q, k, ts, te, opts.Tau, p, nil)
+	}
+	if len(dst) != k {
+		t.Fatalf("warmup query returned %d results, want %d", len(dst), k)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, _ = ix.SearchTauBuf(ctx, scr, dst, q, k, ts, te, opts.Tau, p, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("SearchTauBuf allocates %.1f times per query, want 0", allocs)
+	}
+}

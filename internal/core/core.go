@@ -136,7 +136,6 @@ type Index struct {
 	pending sync.WaitGroup
 	closed  bool
 
-	searchers sync.Pool
 	// entrySalt seeds per-query entry-point randomness for the internal
 	// Search path: each query hashes (entrySalt, vector) into a plan-local
 	// entropy source, so concurrent queries share no state at all — and the
@@ -170,10 +169,10 @@ func New(opts Options) (*Index, error) {
 }
 
 // initQueryState wires the runtime pieces New and Restore share: the
-// searcher pool, the entry-point salt (derived from the seed, distinctly
-// from builds), and the intra-query executor.
+// entry-point salt (derived from the seed, distinctly from builds) and the
+// intra-query executor. Per-query searcher and buffer state lives in
+// Scratch, not the index.
 func (ix *Index) initQueryState() {
-	ix.searchers.New = func() any { return graph.NewSearcher(0) }
 	ix.entrySalt = uint64(ix.opts.Seed) ^ 0x6d6269
 	ix.executor = exec.New(ix.opts.QueryWorkers)
 }
@@ -390,9 +389,10 @@ func (ix *Index) installedHiLocked() int {
 
 // selectBlocksLocked runs top-down block selection (Algorithm 4,
 // BlockSelection) over the forest of complete subtrees plus the
-// brute-force tail (open leaf and pending async builds). Caller holds mu.
-func (ix *Index) selectBlocksLocked(ts, te int64, tau float64) []selection {
-	var out []selection
+// brute-force tail (open leaf and pending async builds), appending to out
+// (pass a scratch-backed slice to select without allocating, or nil for a
+// fresh one). Caller holds mu.
+func (ix *Index) selectBlocksLocked(ts, te int64, tau float64, out []selection) []selection {
 	for _, root := range ix.forest {
 		ix.selectInLocked(root, ts, te, tau, &out)
 	}
@@ -482,7 +482,35 @@ func (ix *Index) SearchTau(q []float32, k int, ts, te int64, tau float64, p grap
 // selection order. Either way the draws happen before execution, so results
 // are reproducible and identical for every worker count. The returned
 // outcome carries stage timings and the Partial flag.
+//
+// It borrows a pooled scratch and copies the results out; SearchTauBuf is
+// the allocation-free variant.
 func (ix *Index) SearchTauContext(ctx context.Context, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, exec.Outcome) {
+	scr := getScratch()
+	res, out := ix.searchTauScratch(ctx, scr, q, k, ts, te, tau, p, rng)
+	res = exec.CopyNeighbors(res)
+	out = out.Detach()
+	putScratch(scr)
+	return res, out
+}
+
+// SearchTauBuf is SearchTauContext with caller-owned buffers: block
+// selection, entry seeds, subtask heaps, and merge storage come from scr,
+// and the merged results are appended into dst[:0], whose grown backing
+// the caller keeps across queries. A warmed-up sequential query performs
+// zero heap allocations. Outcome.Subtasks aliases scr and is valid until
+// scr's next query.
+//
+//tknn:hotpath
+func (ix *Index) SearchTauBuf(ctx context.Context, scr *Scratch, dst []theap.Neighbor, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, exec.Outcome) {
+	res, out := ix.searchTauScratch(ctx, scr, q, k, ts, te, tau, p, rng)
+	dst = append(dst[:0], res...)
+	return dst, out
+}
+
+// searchTauScratch plans into scr and runs: the shared core of
+// SearchTauContext and SearchTauBuf. Results alias scr.
+func (ix *Index) searchTauScratch(ctx context.Context, scr *Scratch, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) ([]theap.Neighbor, exec.Outcome) {
 	if k <= 0 || ts >= te {
 		return nil, exec.Outcome{}
 	}
@@ -491,8 +519,8 @@ func (ix *Index) SearchTauContext(ctx context.Context, q []float32, k int, ts, t
 	if ix.store.Len() == 0 {
 		return nil, exec.Outcome{}
 	}
-	plan, _, selDur := ix.planTimedLocked(q, k, ts, te, tau, p, rng)
-	res, out := ix.executor.Run(ctx, plan)
+	plan, _, selDur := ix.planTimedLocked(scr, q, k, ts, te, tau, p, rng)
+	res, out := ix.executor.RunScratch(ctx, plan, &scr.ex)
 	out.Select = selDur
 	return res, out
 }
@@ -503,7 +531,7 @@ func (ix *Index) SearchTauContext(ctx context.Context, q []float32, k int, ts, t
 func (ix *Index) SelectedBlockCount(ts, te int64, tau float64) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.selectBlocksLocked(ts, te, tau))
+	return len(ix.selectBlocksLocked(ts, te, tau, nil))
 }
 
 // SelectedRanges returns the global [lo, hi) ranges selection would search,
@@ -511,7 +539,7 @@ func (ix *Index) SelectedBlockCount(ts, te int64, tau float64) int {
 func (ix *Index) SelectedRanges(ts, te int64, tau float64) [][2]int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	sel := ix.selectBlocksLocked(ts, te, tau)
+	sel := ix.selectBlocksLocked(ts, te, tau, nil)
 	out := make([][2]int, len(sel))
 	for i, s := range sel {
 		out[i] = [2]int{s.lo, s.hi}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/theap"
 )
@@ -112,7 +113,7 @@ func (ix *Index) ExplainTau(ts, te int64, tau float64) Plan {
 	if ix.store.Len() == 0 || ts >= te {
 		return Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
 	}
-	return ix.explainSelLocked(ix.selectBlocksLocked(ts, te, tau), ts, te, tau)
+	return ix.explainSelLocked(ix.selectBlocksLocked(ts, te, tau, nil), ts, te, tau)
 }
 
 // explainSelLocked renders selections into the static half of a Plan.
@@ -161,8 +162,10 @@ func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, t
 	if ix.store.Len() == 0 {
 		return nil, Plan{Tau: tau, WindowStart: ts, WindowEnd: te}
 	}
-	eplan, sel, selDur := ix.planTimedLocked(q, k, ts, te, tau, p, rng)
-	res, out := ix.executor.Run(ctx, eplan)
+	scr := getScratch()
+	eplan, sel, selDur := ix.planTimedLocked(scr, q, k, ts, te, tau, p, rng)
+	res, out := ix.executor.RunScratch(ctx, eplan, &scr.ex)
+	res = exec.CopyNeighbors(res)
 
 	plan := ix.explainSelLocked(sel, ts, te, tau)
 	plan.Executed = true
@@ -171,13 +174,15 @@ func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, t
 	plan.Search = out.Search
 	plan.Merge = out.Merge
 	// planLocked emits exactly one subtask per selection, in order, so the
-	// executed results annotate the static blocks 1:1.
+	// executed results annotate the static blocks 1:1. The annotations are
+	// copied out of the outcome before the scratch is returned to its pool.
 	for i := range plan.Blocks {
 		sr := out.Subtasks[i]
 		plan.Blocks[i].Duration = sr.Duration
 		plan.Blocks[i].Skipped = sr.Skipped
 		plan.Blocks[i].Found = sr.Found
 	}
+	putScratch(scr)
 	return res, plan
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"math/rand"
 	"time"
 
@@ -9,8 +8,6 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/invariant"
-	"repro/internal/theap"
-	"repro/internal/vec"
 )
 
 // This file is MBI's half of the plan/execute split: block selection
@@ -20,14 +17,17 @@ import (
 
 // planTimedLocked runs block selection and builds the executable plan,
 // returning the selections (Explain annotates them) and the planning
-// duration for the outcome's Select stage. Caller holds mu.
-func (ix *Index) planTimedLocked(q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) (exec.Plan, []selection, time.Duration) {
+// duration for the outcome's Select stage. Every buffer the plan needs
+// comes from scr, so a warmed-up call allocates nothing. Caller holds mu.
+func (ix *Index) planTimedLocked(scr *Scratch, q []float32, k int, ts, te int64, tau float64, p graph.SearchParams, rng *rand.Rand) (exec.Plan, []selection, time.Duration) {
 	start := time.Now()
-	sel := ix.selectBlocksLocked(ts, te, tau)
+	sel := ix.selectBlocksLocked(ts, te, tau, scr.sel[:0])
+	scr.sel = sel
 	if invariant.Enabled {
 		invariant.NoError(ix.validateSelectionLocked(sel, ts, te), "mbi: block selection")
 	}
-	plan := ix.planLocked(sel, q, k, ts, te, p, rng)
+	plan := ix.planLocked(scr, sel, q, k, ts, te, p, rng)
+	scr.ex.Subtasks = plan.Subtasks[:0]
 	return plan, sel, time.Since(start)
 }
 
@@ -43,83 +43,68 @@ const entryProbes = 4
 
 // pickEntriesLocked draws the graph entry seeds for one selected block at
 // plan time: entryProbes candidates, from rng when non-nil, else the
-// plan-local entropy. Duplicates are fine — the searcher's visited set
-// collapses them. Caller holds mu.
-func (ix *Index) pickEntriesLocked(s selection, rng *rand.Rand, ent *exec.Entropy) []int32 {
+// plan-local entropy. The seeds are appended to scr's entry arena and
+// returned as a capped sub-slice, so seed storage for any number of blocks
+// costs zero steady-state allocations. Duplicates are fine — the
+// searcher's visited set collapses them. Caller holds mu.
+func (ix *Index) pickEntriesLocked(scr *Scratch, s selection, rng *rand.Rand, ent *exec.Entropy) []int32 {
 	n := s.hi - s.lo
 	probes := entryProbes
 	if probes > n {
 		probes = n
 	}
-	entries := make([]int32, probes)
-	for i := range entries {
+	start := len(scr.ex.Entries)
+	for i := 0; i < probes; i++ {
 		if rng != nil {
-			entries[i] = graph.RandomEntry(rng, n)
+			scr.ex.Entries = append(scr.ex.Entries, graph.RandomEntry(rng, n))
 		} else {
-			entries[i] = int32(ent.Intn(n))
+			scr.ex.Entries = append(scr.ex.Entries, int32(ent.Intn(n)))
 		}
 	}
-	return entries
+	return scr.ex.Entries[start:len(scr.ex.Entries):len(scr.ex.Entries)]
 }
 
 // planLocked translates selections into an exec.Plan: one subtask per
 // selected block, in selection (= timestamp) order — graph search
 // (Algorithm 2) for sealed blocks, brute scan (Algorithm 1) for the open
-// leaf and any pending async tail.
+// leaf and any pending async tail. Subtasks are pure data; the executor's
+// built-in kernels run them.
 //
 // Entry seeds are drawn here, at plan time, sequentially in selection
 // order: an explicit rng therefore consumes a deterministic sequence
 // (reproducible experiments stay reproducible), and execution order cannot
 // perturb the draws — which, together with the subtasks covering disjoint
 // global-id ranges, makes the merged result identical for every worker
-// count. A nil rng draws from a plan-local entropy source seeded by
+// count. A nil rng draws from the scratch's entropy source reseeded by
 // hashing the query vector: no shared state to contend on, and the same
 // query always walks from the same entries, so internal-path results are
 // deterministic end to end.
 //
-// The subtask closures capture store, times, and graphs; the caller holds
-// mu across executor.Run and the executor joins its workers before
-// returning, so the captures never outlive the lock. Caller holds mu.
-func (ix *Index) planLocked(sel []selection, q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) exec.Plan {
-	plan := exec.Plan{K: k, Subtasks: make([]exec.Subtask, 0, len(sel))}
+// The subtasks reference store, times, and graphs directly; the caller
+// holds mu across the executor and the executor joins its workers before
+// returning, so the references never outlive the lock. Caller holds mu.
+func (ix *Index) planLocked(scr *Scratch, sel []selection, q []float32, k int, ts, te int64, p graph.SearchParams, rng *rand.Rand) exec.Plan {
+	plan := exec.Plan{K: k, Query: q, Subtasks: scr.ex.Subtasks[:0]}
+	scr.ex.Entries = scr.ex.Entries[:0]
 	var ent *exec.Entropy
 	if rng == nil {
-		ent = exec.NewEntropy(int64(exec.QueryHash(ix.entrySalt, q)))
+		scr.ex.Ent.Reseed(int64(exec.QueryHash(ix.entrySalt, q)))
+		ent = &scr.ex.Ent
 	}
 	for _, s := range sel {
-		st := exec.Subtask{Lo: s.lo, Hi: s.hi}
+		st := exec.Subtask{Lo: s.lo, Hi: s.hi, Store: ix.store, Metric: ix.opts.Metric}
 		st.WindowStart, st.WindowEnd = ix.blockWindowLocked(s.lo, s.hi)
 		if s.openLeaf {
 			st.Kind = exec.BruteScan
 			lo, hi := bsbf.WindowOf(ix.times[s.lo:s.hi], ts, te)
-			lo, hi = s.lo+lo, s.lo+hi
-			store, metric := ix.store, ix.opts.Metric
-			st.Run = func(ctx context.Context) []theap.Neighbor {
-				return bsbf.ScanRangeContext(ctx, store, metric, q, k, lo, hi)
-			}
+			st.ScanLo, st.ScanHi = s.lo+lo, s.lo+hi
 		} else {
 			st.Kind = exec.GraphSearch
-			entries := ix.pickEntriesLocked(s, rng, ent)
-			view := vec.View{Store: ix.store, Lo: s.lo, Hi: s.hi, Metric: ix.opts.Metric}
-			times := ix.times
-			base := int32(s.lo)
-			g := s.g
-			st.Run = func(ctx context.Context) []theap.Neighbor {
-				// A graph traversal visits a bounded frontier and is short
-				// relative to scans; cancellation is honored between
-				// subtasks rather than inside the walk.
-				filter := func(local int32) bool {
-					t := times[base+int32(local)]
-					return t >= ts && t < te
-				}
-				sr := ix.searchers.Get().(*graph.Searcher)
-				res := sr.Search(g, view, q, k, filter, p, entries[0], entries[1:]...)
-				ix.searchers.Put(sr)
-				for i := range res {
-					res[i].ID += base
-				}
-				return res
-			}
+			st.Graph = s.g
+			st.Params = p
+			st.Entries = ix.pickEntriesLocked(scr, s, rng, ent)
+			st.Times = ix.times[s.lo:s.hi]
+			st.Ts, st.Te = ts, te
 		}
 		plan.Subtasks = append(plan.Subtasks, st)
 	}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// Scratch owns every reusable per-query buffer of the MBI search path: the
+// block-selection list, and (through the embedded executor scratch) the
+// plan's subtask backing, the entry-seed arena, the per-subtask result
+// heaps, the graph searchers, and the merge buffer. All of it grows to a
+// high-water mark on the first queries and is then reused verbatim, which
+// is what makes a warmed-up sequential SearchTauBuf allocation-free.
+//
+// A Scratch serves one query at a time and is not safe for concurrent use.
+// Results returned through it (the neighbor slice when not copied into a
+// caller buffer, and Outcome.Subtasks) alias the scratch and are valid
+// until its next query.
+type Scratch struct {
+	ex  exec.Scratch
+	sel []selection
+}
+
+// NewScratch returns an empty scratch; every buffer grows on first use and
+// is retained afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the convenience paths (SearchTauContext and friends),
+// which borrow a scratch per query and copy results out before returning
+// it.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }

@@ -21,9 +21,14 @@ type Entropy struct {
 // NewEntropy returns a source whose serial sequence is determined by seed.
 func NewEntropy(seed int64) *Entropy {
 	e := &Entropy{}
-	e.state.Store(uint64(seed))
+	e.Reseed(seed)
 	return e
 }
+
+// Reseed resets the sequence to seed, producing exactly the stream a fresh
+// NewEntropy(seed) would — the scratch path reseeds one retained source per
+// query instead of allocating one.
+func (e *Entropy) Reseed(seed int64) { e.state.Store(uint64(seed)) }
 
 // Next returns the next 64-bit value of the sequence. Safe for concurrent
 // use.

@@ -27,10 +27,11 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/theap"
+	"repro/internal/vec"
 )
 
 // Kind distinguishes the two subtask flavors of Algorithm 4.
@@ -55,8 +56,15 @@ func (k Kind) String() string {
 
 // Subtask is one independent unit of a query plan: a contiguous global
 // vector range answered by one search primitive. Subtasks of a plan must
-// cover disjoint id ranges — theap.Merge deduplicates defensively, but
+// cover disjoint id ranges — the merge deduplicates defensively, but
 // result equivalence across worker counts relies on disjointness.
+//
+// A subtask is pure data: planners fill in the fields of their kind and the
+// executor's built-in kernels do the work, so building a plan allocates
+// nothing (the closure-per-subtask shape this replaced cost one heap
+// allocation per block per query). Everything a subtask references must be
+// safe to read under whatever lock the caller holds across the executor;
+// the executor always joins its workers before returning.
 type Subtask struct {
 	// Kind reports how the range is answered.
 	Kind Kind
@@ -64,12 +72,35 @@ type Subtask struct {
 	Lo, Hi int
 	// WindowStart, WindowEnd is the time window [t_s, t_e) of the range.
 	WindowStart, WindowEnd int64
-	// Run executes the subtask and returns up to the plan's K neighbors
-	// with global ids in ascending distance order. Run is called at most
-	// once, possibly on a pool goroutine; everything it captures must be
-	// safe to read under whatever lock the caller holds across the
-	// executor. Long scans should poll ctx and return early with what
-	// they have.
+
+	// Store and Metric locate the vectors for both kernels.
+	Store  *vec.Store
+	Metric vec.Metric
+
+	// Brute-scan inputs (Kind == BruteScan): the kernel scores global rows
+	// [ScanLo, ScanHi) — the subtask's range clipped to the query window —
+	// or, when List is non-nil, the explicit global ids of List instead
+	// (IVF probes scan inverted lists, not contiguous ranges).
+	ScanLo, ScanHi int
+	List           []int32
+
+	// Graph-search inputs (Kind == GraphSearch): traverse Graph over the
+	// view [Lo, Hi) of Store with Params, seeding the walks from Entries
+	// (local ids; entries[0] is the primary walk, the rest restarts) and
+	// admitting only nodes whose timestamp lands in [Ts, Te). Times is
+	// local-indexed — Times[i] belongs to global row Lo+i — and a nil
+	// Times admits every node.
+	Graph   *graph.CSR
+	Params  graph.SearchParams
+	Entries []int32
+	Times   []int64
+	Ts, Te  int64
+
+	// Run, when non-nil, overrides the built-in kernels: it returns up to
+	// the plan's K neighbors with global ids in ascending distance order
+	// and is called at most once, possibly on a pool goroutine. Tests and
+	// external planners use it; the in-repo planners emit data-only
+	// subtasks so the hot path stays allocation-free.
 	Run func(ctx context.Context) []theap.Neighbor
 }
 
@@ -78,6 +109,8 @@ type Subtask struct {
 type Plan struct {
 	// K is the result count the merged answer is capped at.
 	K int
+	// Query is the query vector the kernels score against.
+	Query []float32
 	// Subtasks are the independent per-block units, in timestamp order.
 	Subtasks []Subtask
 }
@@ -140,54 +173,69 @@ func New(workers int) Executor {
 // tagged Partial and the merged results cover only what ran — partial
 // answers instead of errors, because a late result set is still useful to
 // a serving tier while a failed query is not.
+//
+// Run borrows a pooled Scratch and returns freshly copied results, so the
+// caller owns everything it gets back. The allocation-free path is
+// RunScratch.
 func (e Executor) Run(ctx context.Context, p Plan) ([]theap.Neighbor, Outcome) {
-	n := len(p.Subtasks)
-	out := Outcome{Subtasks: make([]SubtaskResult, n)}
-	for i, st := range p.Subtasks {
+	scr := GetScratch()
+	res, out := e.RunScratch(ctx, p, scr)
+	res = CopyNeighbors(res)
+	out = out.Detach()
+	PutScratch(scr)
+	return res, out
+}
+
+// RunScratch is Run with caller-owned per-query state: the per-subtask
+// result heaps, the merge buffer, the returned neighbor slice, and
+// Outcome.Subtasks all live in scr and stay valid only until scr's next
+// query. A warmed-up sequential run (Workers <= 1) performs zero heap
+// allocations; parallel runs pay only the inherent goroutine fan-out.
+//
+//tknn:hotpath
+func (e Executor) RunScratch(ctx context.Context, p Plan, scr *Scratch) ([]theap.Neighbor, Outcome) {
+	// The parallel branch hands the plan to worker goroutines by pointer,
+	// which would force the p parameter itself to escape — one heap copy
+	// per query, even sequentially. Parking the copy in the heap-resident
+	// scratch keeps the sequential path allocation-free.
+	scr.plan = p
+	plan := &scr.plan
+	n := len(plan.Subtasks)
+	scr.ensure(n)
+	out := Outcome{Subtasks: scr.results[:n]}
+	for i := range plan.Subtasks {
+		st := &plan.Subtasks[i]
 		out.Subtasks[i] = SubtaskResult{Kind: st.Kind, Lo: st.Lo, Hi: st.Hi, Skipped: true}
 	}
 	if n == 0 {
 		return nil, out
 	}
 
-	lists := make([][]theap.Neighbor, n)
-	runOne := func(i int) {
-		start := time.Now()
-		lists[i] = p.Subtasks[i].Run(ctx)
-		r := &out.Subtasks[i]
-		r.Duration = time.Since(start)
-		r.Skipped = false
-		r.Found = len(lists[i])
-	}
-
+	lists := scr.lists[:n]
 	searchStart := time.Now()
 	workers := e.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		scr.ensureWorkers(1)
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				break
 			}
-			runOne(i)
+			scr.runOne(ctx, plan, i, 0, out.Subtasks, lists)
 		}
 	} else {
-		var next atomic.Int64
-		next.Store(-1)
+		scr.ensureWorkers(workers)
+		scr.next.Store(-1)
+		// The fan-out below is the one part of the hot path that
+		// inherently allocates (goroutine stacks, the escaping plan
+		// pointer); sequential execution — what the allocation gate
+		// measures — never reaches it.
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1))
-					if i >= n || ctx.Err() != nil {
-						return
-					}
-					runOne(i)
-				}
-			}()
+			go scr.runWorker(ctx, plan, w, &wg, out.Subtasks, lists)
 		}
 		wg.Wait()
 	}
@@ -221,8 +269,29 @@ func (e Executor) Run(ctx context.Context, p Plan) ([]theap.Neighbor, Outcome) {
 		// like the old single-block fast path.
 		result = completed[0]
 	default:
-		result = theap.Merge(p.K, completed...)
+		result = scr.merger.Merge(plan.K, completed...)
 	}
 	out.Merge = time.Since(mergeStart)
 	return result, out
+}
+
+// CopyNeighbors returns a fresh copy of src, preserving nil — how the
+// convenience search paths detach scratch-aliased results before the
+// scratch goes back to its pool.
+func CopyNeighbors(src []theap.Neighbor) []theap.Neighbor {
+	if src == nil {
+		return nil
+	}
+	cp := make([]theap.Neighbor, len(src))
+	copy(cp, src)
+	return cp
+}
+
+// Detach returns a copy of the outcome whose Subtasks slice no longer
+// aliases executor scratch.
+func (o Outcome) Detach() Outcome {
+	cp := make([]SubtaskResult, len(o.Subtasks))
+	copy(cp, o.Subtasks)
+	o.Subtasks = cp
+	return o
 }

@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/theap"
+	"repro/internal/vec"
+)
+
+// Scratch owns every reusable buffer one query needs downstream of block
+// selection: the plan's subtask backing, the entry-seed arena planners
+// carve per-block seed slices from, the per-subtask result heaps, the
+// graph searchers, and the merge buffer. All of it grows to a high-water
+// mark on the first queries and is then reused verbatim, which is what
+// makes a warmed-up sequential query allocation-free.
+//
+// A Scratch serves one query at a time and is not safe for concurrent use.
+// Results returned from RunScratch (the neighbor slice and
+// Outcome.Subtasks) alias the scratch and are valid until its next query.
+type Scratch struct {
+	// Subtasks is the plan backing array: planners build their plan as
+	// Plan{Subtasks: scr.Subtasks[:0]}, append to it, and store the grown
+	// slice back so the capacity is retained.
+	Subtasks []Subtask
+	// Entries is the entry-seed arena: planners append each block's seeds
+	// and hand the subtask a capped sub-slice, so seed storage for any
+	// number of blocks costs zero steady-state allocations.
+	Entries []int32
+	// PlanTop is a planner-side ranking heap (IVF uses it to rank
+	// centroids at plan time).
+	PlanTop theap.TopK
+	// Ent is the plan-local entropy source; planners Reseed it per query
+	// instead of allocating a fresh source.
+	Ent Entropy
+
+	// Executor-side state.
+	plan      Plan // RunScratch's copy of the plan, so &plan never escapes a stack frame
+	results   []SubtaskResult
+	lists     [][]theap.Neighbor
+	tops      []theap.TopK
+	searchers []*graph.Searcher // one per worker slot
+	merger    theap.Merger
+	next      atomic.Int64 // parallel-mode claim counter
+}
+
+// NewScratch returns an empty scratch; every buffer grows on first use and
+// is retained afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the convenience paths (Executor.Run and the planners'
+// SearchContext methods), which borrow a scratch per query and copy results
+// out before returning it.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch borrows a pooled scratch for one query. Pair with PutScratch
+// once every slice derived from the scratch has been copied or dropped.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch borrowed with GetScratch to the pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// ensure sizes the per-subtask arrays for an n-subtask plan, retaining the
+// result heaps' backing across growth.
+func (s *Scratch) ensure(n int) {
+	if cap(s.results) >= n {
+		return
+	}
+	//lint:ignore hotpath-alloc cold-start growth; retained for every later query on this scratch
+	s.results = make([]SubtaskResult, n)
+	//lint:ignore hotpath-alloc cold-start growth; retained for every later query on this scratch
+	s.lists = make([][]theap.Neighbor, n)
+	//lint:ignore hotpath-alloc cold-start growth; retained for every later query on this scratch
+	grown := make([]theap.TopK, n)
+	copy(grown, s.tops)
+	s.tops = grown
+}
+
+// ensureWorkers guarantees one graph searcher per worker slot.
+func (s *Scratch) ensureWorkers(w int) {
+	for len(s.searchers) < w {
+		//lint:ignore hotpath-alloc,scratch-reuse cold-start growth; searchers persist across queries
+		s.searchers = append(s.searchers, graph.NewSearcher(0))
+	}
+}
+
+// runOne executes subtask i on worker slot, recording its timing and
+// result list.
+func (s *Scratch) runOne(ctx context.Context, p *Plan, i, slot int, results []SubtaskResult, lists [][]theap.Neighbor) {
+	start := time.Now()
+	lists[i] = s.runSubtask(ctx, p, i, slot)
+	r := &results[i]
+	r.Duration = time.Since(start)
+	r.Skipped = false
+	r.Found = len(lists[i])
+}
+
+// runWorker is one goroutine of the parallel fan-out: it claims subtask
+// indices off the shared counter until the plan is drained or the context
+// fires.
+func (s *Scratch) runWorker(ctx context.Context, p *Plan, slot int, wg *sync.WaitGroup, results []SubtaskResult, lists [][]theap.Neighbor) {
+	defer wg.Done()
+	n := len(p.Subtasks)
+	for {
+		i := int(s.next.Add(1))
+		if i >= n || ctx.Err() != nil {
+			return
+		}
+		s.runOne(ctx, p, i, slot, results, lists)
+	}
+}
+
+// runSubtask dispatches subtask i to its kernel. The returned list aliases
+// the subtask's scratch heap and is valid until the scratch's next query.
+func (s *Scratch) runSubtask(ctx context.Context, p *Plan, i, slot int) []theap.Neighbor {
+	st := &p.Subtasks[i]
+	if st.Run != nil {
+		return st.Run(ctx)
+	}
+	if p.K <= 0 {
+		return nil
+	}
+	top := &s.tops[i]
+	top.ResetK(p.K)
+	if st.Kind == GraphSearch {
+		return s.graphKernel(st, p.Query, p.K, top, slot)
+	}
+	if st.List != nil {
+		ScanListInto(ctx, top, st.Store, st.Metric, p.Query, st.List)
+	} else {
+		ScanInto(ctx, top, st.Store, st.Metric, p.Query, st.ScanLo, st.ScanHi)
+	}
+	return top.Items()
+}
+
+// graphKernel answers a GraphSearch subtask: an Algorithm 2 traversal over
+// the block's view, rebased to global ids. A graph traversal visits a
+// bounded frontier and is short relative to scans; cancellation is honored
+// between subtasks rather than inside the walk.
+func (s *Scratch) graphKernel(st *Subtask, q []float32, k int, top *theap.TopK, slot int) []theap.Neighbor {
+	sr := s.searchers[slot]
+	view := vec.View{Store: st.Store, Lo: st.Lo, Hi: st.Hi, Metric: st.Metric}
+	sr.SearchInto(top, st.Graph, view, q, st.Times, st.Ts, st.Te, st.Params, st.Entries, k)
+	res := top.Items()
+	base := int32(st.Lo)
+	for i := range res {
+		res[i].ID += base
+	}
+	if invariant.Enabled {
+		for i, nb := range res {
+			invariant.Checkf(int(nb.ID) >= st.Lo && int(nb.ID) < st.Hi,
+				"exec: graph result %d has id %d outside [%d,%d)", i, nb.ID, st.Lo, st.Hi)
+			invariant.Checkf(st.Times == nil ||
+				(st.Times[nb.ID-base] >= st.Ts && st.Times[nb.ID-base] < st.Te),
+				"exec: graph result %d (id %d) fails the time window", i, nb.ID)
+			invariant.Checkf(i == 0 || !theap.Less(res[i], res[i-1]),
+				"exec: graph results not ascending at %d", i)
+		}
+	}
+	return res
+}
+
+// scanPoll is how many rows a brute-scan kernel scores between context
+// polls: rare enough to stay off the hot path, frequent enough that
+// cancelling a scan takes microseconds.
+const scanPoll = 2048
+
+// ScanInto brute-force scores global rows [lo, hi) of store against q,
+// pushing every row into top — the BruteForce step of Algorithm 1 as a
+// kernel over a caller-owned heap. The scan polls ctx every scanPoll rows
+// and stops early with what it has when the context is done; the executor
+// tags the outcome Partial whenever that happens mid-plan.
+//
+//tknn:hotpath
+func ScanInto(ctx context.Context, top *theap.TopK, store *vec.Store, metric vec.Metric, q []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%scanPoll == scanPoll-1 && ctx.Err() != nil {
+			return
+		}
+		top.Push(theap.Neighbor{ID: int32(i), Dist: vec.Distance(metric, q, store.At(i))})
+	}
+}
+
+// ScanListInto is ScanInto over an explicit global-id list — how IVF
+// probes score the in-window run of an inverted list.
+//
+//tknn:hotpath
+func ScanListInto(ctx context.Context, top *theap.TopK, store *vec.Store, metric vec.Metric, q []float32, ids []int32) {
+	for j, id := range ids {
+		if j%scanPoll == scanPoll-1 && ctx.Err() != nil {
+			return
+		}
+		top.Push(theap.Neighbor{ID: id, Dist: vec.Distance(metric, q, store.At(int(id)))})
+	}
+}

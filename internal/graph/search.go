@@ -29,6 +29,7 @@ type Searcher struct {
 	admitted []uint32 // epoch-stamped per query, dedups restarts' results
 	aEpoch   uint32
 	frontier theap.MinQueue
+	entryBuf []int32 // reused entry-seed backing for the compat Search path
 }
 
 // NewSearcher returns a Searcher sized for graphs up to n nodes. It grows
@@ -42,6 +43,28 @@ func NewSearcher(n int) *Searcher {
 // failing the filter are still traversed (they guide the walk), they just
 // never become results — exactly the SF modification in §3.2.2.
 type Filter func(local int32) bool
+
+// timeFilter is the walk's admission test in data form. The hot path
+// (SearchInto) describes the time window as (times, ts, te) so that no
+// closure needs to be built per query; the compat Search path wraps its
+// Filter func in the fn field. A nil times with a nil fn admits everything.
+type timeFilter struct {
+	times  []int64 // local-indexed: times[i] belongs to view node i
+	ts, te int64
+	fn     Filter
+}
+
+// ok reports whether the node at local index i may enter the result set.
+func (f *timeFilter) ok(i int32) bool {
+	if f.fn != nil {
+		return f.fn(i)
+	}
+	if f.times == nil {
+		return true
+	}
+	t := f.times[i]
+	return t >= f.ts && t < f.te
+}
 
 // Search runs Algorithm 2: a best-first walk of g starting from entry,
 // collecting into a size-k result heap only nodes accepted by filter.
@@ -66,21 +89,11 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 	if n == 0 || k <= 0 {
 		return nil
 	}
-	// Euclidean views compare squared distances, so the range-extension
-	// factor is squared to keep ε's meaning ("explore up to ε times the
-	// current k-th distance") metric-independent and comparable to the
-	// paper's 1.00–1.40 sweep.
-	eps := p.Eps
-	if view.Metric == vec.Euclidean {
-		eps *= eps
-	}
-	s.beginQuery(n)
 	result := theap.NewTopK(k)
-
-	s.walk(g, view, q, filter, p, eps, entry, result, false)
-	for _, e := range more {
-		s.walk(g, view, q, filter, p, eps, e, result, true)
-	}
+	f := timeFilter{fn: filter}
+	s.entryBuf = append(s.entryBuf[:0], entry)
+	s.entryBuf = append(s.entryBuf, more...)
+	s.searchInto(result, g, view, q, &f, p, s.entryBuf)
 
 	out := result.Items()
 	if invariant.Enabled {
@@ -96,6 +109,42 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 	return out
 }
 
+// SearchInto is the allocation-free form of Search: the result heap is
+// caller-owned (reset here to the query's k), the time window arrives as
+// data instead of a closure — times is local-indexed, nil admits every node
+// — and the entry seeds arrive as a slice (entries[0] is the primary walk,
+// the rest are restarts). Retained neighbors are left in result, unsorted;
+// callers drain with result.Items(). It is a no-op on an empty graph, an
+// empty entry list, or k <= 0.
+//
+//tknn:hotpath
+func (s *Searcher) SearchInto(result *theap.TopK, g *CSR, view vec.View, q []float32, times []int64, ts, te int64, p SearchParams, entries []int32, k int) {
+	if g.NumNodes() == 0 || len(entries) == 0 || k <= 0 {
+		return
+	}
+	result.ResetK(k)
+	f := timeFilter{times: times, ts: ts, te: te}
+	s.searchInto(result, g, view, q, &f, p, entries)
+}
+
+// searchInto runs the query's walks against a prepared filter: the shared
+// core of Search and SearchInto.
+func (s *Searcher) searchInto(result *theap.TopK, g *CSR, view vec.View, q []float32, f *timeFilter, p SearchParams, entries []int32) {
+	// Euclidean views compare squared distances, so the range-extension
+	// factor is squared to keep ε's meaning ("explore up to ε times the
+	// current k-th distance") metric-independent and comparable to the
+	// paper's 1.00–1.40 sweep.
+	eps := p.Eps
+	if view.Metric == vec.Euclidean {
+		eps *= eps
+	}
+	s.beginQuery(g.NumNodes())
+	s.walk(g, view, q, f, p, eps, entries[0], result, false)
+	for _, e := range entries[1:] {
+		s.walk(g, view, q, f, p, eps, e, result, true)
+	}
+}
+
 // walk is one best-first traversal (Algorithm 2) from entry, admitting
 // into the shared result heap. Each walk gets a fresh visited epoch so it
 // can traverse nodes earlier walks saw; admitted stamps persist across the
@@ -108,7 +157,7 @@ func (s *Searcher) Search(g *CSR, view vec.View, q []float32, k int, filter Filt
 // pure greedy descent is allowed from anywhere, and the full ε-bounded
 // broadening resumes once the walk is inside the bound. The first walk is
 // Algorithm 2 verbatim.
-func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter Filter, p SearchParams, eps float32, entry int32, result *theap.TopK, restart bool) {
+func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter *timeFilter, p SearchParams, eps float32, entry int32, result *theap.TopK, restart bool) {
 	s.beginEpoch(g.NumNodes())
 	s.frontier.Reset()
 	s.markSeen(entry)
@@ -146,7 +195,7 @@ func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter Filter, p Sea
 		// Lines 12-15: admit the visited node into R if it passes the
 		// time filter and no earlier walk already admitted it (a node's
 		// distance is fixed, so re-admission could only duplicate).
-		if (filter == nil || filter(cur.ID)) && s.admitted[cur.ID] != s.aEpoch {
+		if filter.ok(cur.ID) && s.admitted[cur.ID] != s.aEpoch {
 			s.admitted[cur.ID] = s.aEpoch
 			result.Push(cur)
 		}
@@ -166,6 +215,7 @@ func RandomEntry(rng *rand.Rand, n int) int32 {
 // beginQuery starts a new admitted epoch (one per Search call).
 func (s *Searcher) beginQuery(n int) {
 	if len(s.admitted) < n {
+		//lint:ignore hotpath-alloc cold-start growth; the admitted array is retained for every later query
 		grown := make([]uint32, n)
 		copy(grown, s.admitted)
 		s.admitted = grown
@@ -182,6 +232,7 @@ func (s *Searcher) beginQuery(n int) {
 // beginEpoch starts a new visited epoch (one per walk).
 func (s *Searcher) beginEpoch(n int) {
 	if len(s.visited) < n {
+		//lint:ignore hotpath-alloc cold-start growth; the visited array is retained for every later query
 		grown := make([]uint32, n)
 		copy(grown, s.visited)
 		s.visited = grown

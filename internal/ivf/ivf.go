@@ -131,12 +131,19 @@ func (ix *Index) Search(q []float32, k int, ts, te int64, nprobe int) []theap.Ne
 // SearchContext answers the query through the shared executor: probed
 // lists scan as independent subtasks across x's worker pool, subtasks
 // never start after ctx is done, and expiry yields partial results tagged
-// in the outcome.
+// in the outcome. It borrows a pooled scratch and copies the results out.
 func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, nprobe int, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	scr := exec.GetScratch()
 	planStart := time.Now()
-	plan := ix.Plan(q, k, ts, te, nprobe)
+	plan := exec.Plan{K: k, Query: q, Subtasks: scr.Subtasks[:0]}
+	scr.Entries = scr.Entries[:0]
+	ix.planInto(&plan, scr, q, k, ts, te, nprobe)
+	scr.Subtasks = plan.Subtasks[:0]
 	planDur := time.Since(planStart)
-	res, out := x.Run(ctx, plan)
+	res, out := x.RunScratch(ctx, plan, scr)
+	res = exec.CopyNeighbors(res)
+	out = out.Detach()
+	exec.PutScratch(scr)
 	out.Select = planDur
 	return res, out
 }
@@ -148,12 +155,25 @@ func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te i
 // built ids and the tail is disjoint from them, so the merged result is
 // identical for every worker count.
 func (ix *Index) Plan(q []float32, k int, ts, te int64, nprobe int) exec.Plan {
-	plan := exec.Plan{K: k}
+	plan := exec.Plan{K: k, Query: q}
 	if k <= 0 || ts >= te {
 		return plan
 	}
+	ix.planInto(&plan, exec.NewScratch(), q, k, ts, te, nprobe)
+	return plan
+}
+
+// planInto appends the query's subtasks to plan as data-only units: each
+// probed list's in-window run scans through the executor's id-list kernel
+// (the inverted list's segment rides along as Subtask.List — no copying),
+// and the unbuilt tail scans as a contiguous range. scr backs the centroid
+// ranking and probe storage.
+func (ix *Index) planInto(plan *exec.Plan, scr *exec.Scratch, q []float32, k int, ts, te int64, nprobe int) {
+	if k <= 0 || ts >= te {
+		return
+	}
 	if ix.centroids != nil && ix.built > 0 {
-		probes := ix.rankCentroids(q, nprobe)
+		probes := ix.rankCentroidsInto(scr, q, nprobe)
 		for _, c := range probes {
 			list := ix.lists[c]
 			lo := sort.Search(len(list), func(i int) bool { return ix.times[list[i]] >= ts })
@@ -162,20 +182,12 @@ func (ix *Index) Plan(q []float32, k int, ts, te int64, nprobe int) exec.Plan {
 				continue
 			}
 			seg := list[lo:hi]
-			st := exec.Subtask{Kind: exec.BruteScan,
-				Lo: int(seg[0]), Hi: int(seg[len(seg)-1]) + 1,
-				WindowStart: ix.times[seg[0]], WindowEnd: ix.times[seg[len(seg)-1]] + 1}
-			st.Run = func(ctx context.Context) []theap.Neighbor {
-				top := theap.NewTopK(k)
-				for j, id := range seg {
-					if j%scanPoll == scanPoll-1 && ctx.Err() != nil {
-						break
-					}
-					top.Push(theap.Neighbor{ID: id, Dist: vec.Distance(ix.metric, q, ix.store.At(int(id)))})
-				}
-				return top.Items()
-			}
-			plan.Subtasks = append(plan.Subtasks, st)
+			plan.Subtasks = append(plan.Subtasks, exec.Subtask{
+				Kind: exec.BruteScan,
+				Lo:   int(seg[0]), Hi: int(seg[len(seg)-1]) + 1,
+				WindowStart: ix.times[seg[0]], WindowEnd: ix.times[seg[len(seg)-1]] + 1,
+				Store: ix.store, Metric: ix.metric, List: seg,
+			})
 		}
 	}
 	// Tail scan over unbuilt vectors; ids past built are in timestamp
@@ -184,23 +196,19 @@ func (ix *Index) Plan(q []float32, k int, ts, te int64, nprobe int) exec.Plan {
 		lo, hi := bsbf.WindowOf(ix.times[tailLo:tailHi], ts, te)
 		lo, hi = tailLo+lo, tailLo+hi
 		if lo < hi {
-			st := exec.Subtask{Kind: exec.BruteScan, Lo: lo, Hi: hi,
-				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1}
-			st.Run = func(ctx context.Context) []theap.Neighbor {
-				return bsbf.ScanRangeContext(ctx, ix.store, ix.metric, q, k, lo, hi)
-			}
-			plan.Subtasks = append(plan.Subtasks, st)
+			plan.Subtasks = append(plan.Subtasks, exec.Subtask{
+				Kind: exec.BruteScan, Lo: lo, Hi: hi,
+				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1,
+				Store: ix.store, Metric: ix.metric, ScanLo: lo, ScanHi: hi,
+			})
 		}
 	}
-	return plan
 }
 
-// scanPoll is how many list members a probe subtask scores between context
-// polls.
-const scanPoll = 2048
-
-// rankCentroids returns the indices of the nprobe centroids nearest to q.
-func (ix *Index) rankCentroids(q []float32, nprobe int) []int32 {
+// rankCentroidsInto returns the indices of the nprobe centroids nearest to
+// q, ranked through the scratch's plan-time heap and carved from its
+// entry arena so steady-state planning allocates nothing.
+func (ix *Index) rankCentroidsInto(scr *exec.Scratch, q []float32, nprobe int) []int32 {
 	nc := ix.centroids.Len()
 	if nprobe <= 0 {
 		nprobe = 1
@@ -208,16 +216,16 @@ func (ix *Index) rankCentroids(q []float32, nprobe int) []int32 {
 	if nprobe > nc {
 		nprobe = nc
 	}
-	heap := theap.NewTopK(nprobe)
+	scr.PlanTop.ResetK(nprobe)
 	for c := 0; c < nc; c++ {
-		heap.Push(theap.Neighbor{ID: int32(c), Dist: vec.Distance(ix.metric, q, ix.centroids.At(c))})
+		scr.PlanTop.Push(theap.Neighbor{ID: int32(c), Dist: vec.Distance(ix.metric, q, ix.centroids.At(c))})
 	}
-	ranked := heap.Items()
-	out := make([]int32, len(ranked))
-	for i, r := range ranked {
-		out[i] = r.ID
+	ranked := scr.PlanTop.Items()
+	start := len(scr.Entries)
+	for _, r := range ranked {
+		scr.Entries = append(scr.Entries, r.ID)
 	}
-	return out
+	return scr.Entries[start:len(scr.Entries):len(scr.Entries)]
 }
 
 // Stats describes the list-size distribution, for diagnostics and tests.

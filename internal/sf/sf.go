@@ -10,7 +10,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"repro/internal/bsbf"
@@ -34,16 +33,12 @@ type Index struct {
 
 	g     *graph.CSR
 	built int // vectors covered by g
-
-	searchers sync.Pool
 }
 
 // New returns an empty SF index. builder constructs the proximity graph
 // (NNDescent in the paper's setup).
 func New(dim int, metric vec.Metric, builder graph.Builder) *Index {
-	ix := &Index{store: vec.NewStore(dim), metric: metric, builder: builder}
-	ix.searchers.New = func() any { return graph.NewSearcher(0) }
-	return ix
+	return &Index{store: vec.NewStore(dim), metric: metric, builder: builder}
 }
 
 // Len returns the number of appended vectors.
@@ -118,12 +113,19 @@ func (ix *Index) Search(q []float32, k int, ts, te int64, p graph.SearchParams, 
 // supplies the graph entry vertex (drawn at plan time, so results are
 // identical for every worker count) and the executor to run on; subtasks
 // never start after ctx is done and expiry yields partial results tagged
-// in the outcome.
+// in the outcome. It borrows a pooled scratch and copies the results out.
 func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te int64, p graph.SearchParams, entry int32, x exec.Executor) ([]theap.Neighbor, exec.Outcome) {
+	scr := exec.GetScratch()
 	planStart := time.Now()
-	plan := ix.Plan(q, k, ts, te, p, entry)
+	plan := exec.Plan{K: k, Query: q, Subtasks: scr.Subtasks[:0]}
+	scr.Entries = scr.Entries[:0]
+	ix.planInto(&plan, scr, k, ts, te, p, entry)
+	scr.Subtasks = plan.Subtasks[:0]
 	planDur := time.Since(planStart)
-	res, out := x.Run(ctx, plan)
+	res, out := x.RunScratch(ctx, plan, scr)
+	res = exec.CopyNeighbors(res)
+	out = out.Detach()
+	exec.PutScratch(scr)
 	out.Select = planDur
 	return res, out
 }
@@ -133,39 +135,44 @@ func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, ts, te i
 // subtask over the unbuilt tail's in-window run. The two cover disjoint
 // global-id ranges.
 func (ix *Index) Plan(q []float32, k int, ts, te int64, p graph.SearchParams, entry int32) exec.Plan {
-	plan := exec.Plan{K: k}
+	plan := exec.Plan{K: k, Query: q}
 	if k <= 0 || ts >= te {
 		return plan
 	}
+	ix.planInto(&plan, exec.NewScratch(), k, ts, te, p, entry)
+	return plan
+}
+
+// planInto appends the query's subtasks to plan as data-only units: the
+// executor's graph kernel traverses the built prefix with the query's time
+// window as its admission filter, and the scan kernel covers the unbuilt
+// tail. scr provides the entry-seed backing.
+func (ix *Index) planInto(plan *exec.Plan, scr *exec.Scratch, k int, ts, te int64, p graph.SearchParams, entry int32) {
+	if k <= 0 || ts >= te {
+		return
+	}
 	if ix.g != nil && ix.built > 0 {
-		st := exec.Subtask{Kind: exec.GraphSearch, Lo: 0, Hi: ix.built,
-			WindowStart: ix.times[0], WindowEnd: ix.times[ix.built-1] + 1}
-		g, built, times := ix.g, ix.built, ix.times
-		st.Run = func(ctx context.Context) []theap.Neighbor {
-			view := vec.View{Store: ix.store, Lo: 0, Hi: built, Metric: ix.metric}
-			filter := func(local int32) bool {
-				t := times[local]
-				return t >= ts && t < te
-			}
-			s := ix.searchers.Get().(*graph.Searcher)
-			res := s.Search(g, view, q, k, filter, p, entry)
-			ix.searchers.Put(s)
-			return res
-		}
-		plan.Subtasks = append(plan.Subtasks, st)
+		seed := len(scr.Entries)
+		scr.Entries = append(scr.Entries, entry)
+		plan.Subtasks = append(plan.Subtasks, exec.Subtask{
+			Kind: exec.GraphSearch, Lo: 0, Hi: ix.built,
+			WindowStart: ix.times[0], WindowEnd: ix.times[ix.built-1] + 1,
+			Store: ix.store, Metric: ix.metric,
+			Graph: ix.g, Params: p,
+			Entries: scr.Entries[seed : seed+1 : seed+1],
+			Times:   ix.times[:ix.built], Ts: ts, Te: te,
+		})
 	}
 	// Tail scan over vectors the graph does not cover yet.
 	if tailLo, tailHi := ix.built, ix.store.Len(); tailLo < tailHi {
 		lo, hi := bsbf.WindowOf(ix.times[tailLo:tailHi], ts, te)
 		lo, hi = tailLo+lo, tailLo+hi
 		if lo < hi {
-			st := exec.Subtask{Kind: exec.BruteScan, Lo: lo, Hi: hi,
-				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1}
-			st.Run = func(ctx context.Context) []theap.Neighbor {
-				return bsbf.ScanRangeContext(ctx, ix.store, ix.metric, q, k, lo, hi)
-			}
-			plan.Subtasks = append(plan.Subtasks, st)
+			plan.Subtasks = append(plan.Subtasks, exec.Subtask{
+				Kind: exec.BruteScan, Lo: lo, Hi: hi,
+				WindowStart: ix.times[lo], WindowEnd: ix.times[hi-1] + 1,
+				Store: ix.store, Metric: ix.metric, ScanLo: lo, ScanHi: hi,
+			})
 		}
 	}
-	return plan
 }

@@ -94,6 +94,24 @@ func (t *TopK) Push(n Neighbor) bool {
 // Reset empties the collector, retaining its backing storage.
 func (t *TopK) Reset() { t.heap = t.heap[:0] }
 
+// ResetK re-initializes the collector for a k-result query, retaining the
+// backing array across calls — the reuse primitive of the allocation-free
+// query path: a zero TopK becomes usable on first ResetK and never
+// allocates again for any k up to the largest seen. It panics if k <= 0,
+// matching NewTopK.
+func (t *TopK) ResetK(k int) {
+	if k <= 0 {
+		panic("theap: TopK needs k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		//lint:ignore hotpath-alloc cold-start growth; the backing array is retained for every later query
+		t.heap = make([]Neighbor, 0, k)
+		return
+	}
+	t.heap = t.heap[:0]
+}
+
 // Items returns the retained neighbors sorted by ascending distance.
 // The collector is consumed: it is empty afterwards.
 func (t *TopK) Items() []Neighbor {
@@ -334,18 +352,50 @@ func siftDownRange(a []Neighbor, i, n int) {
 
 // Merge combines several ascending-sorted neighbor lists into the k nearest
 // overall, deduplicating by ID. It is the final combine step of an MBI
-// query (each block contributes a sorted list over global ids).
+// query (each block contributes a sorted list over global ids). Each call
+// allocates a fresh heap and dedup set; steady-state paths use a Merger.
 func Merge(k int, lists ...[]Neighbor) []Neighbor {
-	t := NewTopK(k)
-	seen := make(map[int32]struct{})
+	var m Merger
+	out := m.Merge(k, lists...)
+	if out == nil {
+		return nil
+	}
+	cp := make([]Neighbor, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Merger is the scratch-backed form of Merge: the result heap and the
+// dedup set persist across calls, so a steady-state query performs no
+// allocation in the final combine. The returned slice aliases the Merger's
+// storage and is valid only until the next Merge call. A Merger is not safe
+// for concurrent use; its zero value is ready.
+type Merger struct {
+	top  TopK
+	seen map[int32]struct{}
+}
+
+// Merge combines several ascending-sorted neighbor lists into the k nearest
+// overall, deduplicating by ID, exactly like the package-level Merge but
+// into reused storage.
+func (m *Merger) Merge(k int, lists ...[]Neighbor) []Neighbor {
+	m.top.ResetK(k)
+	if m.seen == nil {
+		//lint:ignore hotpath-alloc cold-start; the dedup set is retained across queries
+		m.seen = make(map[int32]struct{}, k)
+	}
+	clear(m.seen)
 	for _, l := range lists {
 		for _, n := range l {
-			if _, dup := seen[n.ID]; dup {
+			if _, dup := m.seen[n.ID]; dup {
 				continue
 			}
-			seen[n.ID] = struct{}{}
-			t.Push(n)
+			m.seen[n.ID] = struct{}{}
+			m.top.Push(n)
 		}
 	}
-	return t.Items()
+	if m.top.Len() == 0 {
+		return nil
+	}
+	return m.top.Items()
 }
