@@ -6,9 +6,9 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/
+RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/
 
-.PHONY: check fmt vet build test race lint invariants recover bench-exec bench-allocs allocs-gate
+.PHONY: check fmt vet build test race lint invariants recover bench-exec bench-allocs bench-sq allocs-gate
 
 check: fmt vet build test race lint invariants recover
 
@@ -58,6 +58,13 @@ bench-exec:
 # MBI and BSBF. Writes BENCH_allocs.json.
 bench-allocs:
 	$(GO) run ./cmd/mbibench allocs
+
+# SQ8 compression benchmark: bytes/vector and memory reduction,
+# compressed scan throughput, ns/distance for the asymmetric kernel, and
+# recall@10 vs the flat index at rerank factors 1/2/4 on the
+# drifting-cluster dataset. Writes BENCH_sq.json.
+bench-sq:
+	$(GO) run ./cmd/mbibench sq
 
 # Allocation gate: a warmed-up sequential query on the Buf entry points
 # must perform zero heap allocations (testing.AllocsPerRun). CI runs this

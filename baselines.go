@@ -24,13 +24,49 @@ type BSBF struct {
 
 // NewBSBF creates an empty BSBF index.
 func NewBSBF(dim int, metric Metric) (*BSBF, error) {
-	if dim <= 0 {
-		return nil, fmt.Errorf("tknn: dimension must be positive, got %d", dim)
+	return NewBSBFWithOptions(BSBFOptions{Dim: dim, Metric: metric})
+}
+
+// BSBFOptions configures a BSBF index beyond dimension and metric.
+type BSBFOptions struct {
+	// Dim is the vector dimension. Required.
+	Dim int
+	// Metric is the distance function. Default Euclidean.
+	Metric Metric
+	// Compression selects per-chunk vector compression: with
+	// CompressionSQ8 each full run of ChunkSize appended rows is sealed
+	// into a scalar quantizer, scans read 1-byte codes through an
+	// asymmetric kernel, and an exact re-rank restores ordering. The
+	// still-open tail is always scanned exactly.
+	Compression Compression
+	// RerankFactor is the compressed-scan over-fetch multiplier
+	// (candidates = k·RerankFactor). 0 uses the executor default (4).
+	RerankFactor int
+	// ChunkSize is the row count sealed into one quantizer. 0 uses the
+	// scan-subtask chunk size (8192).
+	ChunkSize int
+}
+
+// NewBSBFWithOptions creates an empty BSBF index with explicit options.
+func NewBSBFWithOptions(opts BSBFOptions) (*BSBF, error) {
+	if opts.Dim <= 0 {
+		return nil, fmt.Errorf("tknn: dimension must be positive, got %d", opts.Dim)
 	}
-	if !metric.valid() {
-		return nil, fmt.Errorf("tknn: invalid metric %d", metric)
+	if !opts.Metric.valid() {
+		return nil, fmt.Errorf("tknn: invalid metric %d", opts.Metric)
 	}
-	return &BSBF{dim: dim, inner: bsbf.New(dim, metric.internal()), x: exec.New(0)}, nil
+	if !opts.Compression.valid() {
+		return nil, fmt.Errorf("tknn: invalid compression %d", opts.Compression)
+	}
+	inner, err := bsbf.NewWithConfig(opts.Dim, opts.Metric.internal(), bsbf.Config{
+		Compression:  opts.Compression.internal(),
+		RerankFactor: opts.RerankFactor,
+		ChunkSize:    opts.ChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BSBF{dim: opts.Dim, inner: inner, x: exec.New(0)}, nil
 }
 
 // SetQueryWorkers rebounds the intra-query scan pool: n <= 0 defaults to

@@ -24,6 +24,9 @@
 //	          selected blocks (writes BENCH_exec.json; see -out)
 //	allocs    query-path heap traffic: pooled vs caller-owned-scratch
 //	          entry points on MBI and BSBF (writes BENCH_allocs.json)
+//	sq        SQ8 compression: bytes/vector, asymmetric-kernel scan
+//	          throughput, recall vs flat at rerank factors 1/2/4 on
+//	          drifting clusters (writes BENCH_sq.json)
 //	all       everything above, in order
 //
 // Flags:
@@ -139,6 +142,10 @@ func run(args []string) error {
 		if _, err := bench.AllocsExperiment(cfg, w, outPath("BENCH_allocs.json")); err != nil {
 			return err
 		}
+	case "sq":
+		if _, err := bench.SQExperiment(cfg, w, outPath("BENCH_sq.json")); err != nil {
+			return err
+		}
 	case "all":
 		bench.Table2(cfg, profiles, w)
 		bench.Table3(cfg, profiles, w)
@@ -161,6 +168,9 @@ func run(args []string) error {
 			return err
 		}
 		if _, err := bench.AllocsExperiment(cfg, w, outPath("BENCH_allocs.json")); err != nil {
+			return err
+		}
+		if _, err := bench.SQExperiment(cfg, w, outPath("BENCH_sq.json")); err != nil {
 			return err
 		}
 	default:

@@ -33,9 +33,13 @@ func uncheckedErrScope(rel string) bool {
 	// write or close error there ships a torn index file — and
 	// internal/client is the other end of the daemon's HTTP boundary,
 	// where a dropped body-close leaks connections under load.
+	// internal/sq is in scope because block codes flow into the persist
+	// codec: a swallowed encode error there ships a file whose compressed
+	// sections silently disagree with the vectors they stand for.
 	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" ||
 		rel == "internal/wal" || rel == "internal/exec" ||
-		rel == "internal/persist" || rel == "internal/client"
+		rel == "internal/persist" || rel == "internal/client" ||
+		rel == "internal/sq"
 }
 
 func watchedErrPkg(path string) bool {

@@ -1,0 +1,29 @@
+// Package sq mirrors the repository's scalar-quantization kernels: the
+// LUT fill and asymmetric scan are //tknn:hotpath, so per-query
+// allocations there must fire while the reviewed cold-start growth idiom
+// stays suppressed.
+package sq
+
+// Codes is a block's quantized form.
+type Codes struct {
+	Dim  int
+	Data []uint8
+}
+
+// Scanner reuses its lookup table across queries.
+type Scanner struct {
+	lut []float32
+}
+
+// FillLUT builds the query's lookup table.
+//
+//tknn:hotpath
+func (s *Scanner) FillLUT(c *Codes, q []float32) []float32 {
+	fresh := make([]float32, c.Dim*256) // flagged: per-query LUT allocation
+	_ = fresh
+	if cap(s.lut) < c.Dim*256 {
+		//lint:ignore hotpath-alloc cold-start growth; the LUT is retained for every later query
+		s.lut = make([]float32, c.Dim*256)
+	}
+	return s.lut[:c.Dim*256]
+}

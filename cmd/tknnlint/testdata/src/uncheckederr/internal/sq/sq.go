@@ -1,0 +1,15 @@
+// Package sq is the seventh unchecked-errors scope: quantized block codes
+// flow into the persistence codec, so a swallowed encode error ships a
+// file whose compressed sections disagree with their vectors.
+package sq
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Dump serializes codes to w.
+func Dump(w io.Writer, codes []uint8) {
+	binary.Write(w, binary.LittleEndian, codes)     // discarded write error: flagged
+	_ = binary.Write(w, binary.LittleEndian, codes) // explicit discard: clean
+}

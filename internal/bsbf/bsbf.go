@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/sq"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -29,6 +30,13 @@ type Index struct {
 	store  *vec.Store
 	times  []int64
 	metric vec.Metric
+
+	// Optional SQ8 compression (see compress.go): cfg selects it, codes[c]
+	// quantizes chunk c's rows, sealed is the global row count covered by
+	// codes — always a multiple of cfg.ChunkSize.
+	cfg    Config
+	codes  []*sq.Codes
+	sealed int
 }
 
 // New returns an empty BSBF index over dim-dimensional vectors.
@@ -70,6 +78,7 @@ func (ix *Index) Append(v []float32, t int64) error {
 		return err
 	}
 	ix.times = append(ix.times, t)
+	ix.sealChunks()
 	return nil
 }
 
@@ -146,7 +155,11 @@ func (ix *Index) searchScratch(ctx context.Context, scr *exec.Scratch, q []float
 	plan := exec.Plan{K: k, Query: q, Subtasks: scr.Subtasks[:0]}
 	if k > 0 && ts < te {
 		lo, hi := ix.Window(ts, te)
-		scanPlanInto(&plan, ix.store, ix.metric, ix.times, lo, hi)
+		if ix.sealed > 0 {
+			ix.compressedPlanInto(&plan, k, lo, hi)
+		} else {
+			scanPlanInto(&plan, ix.store, ix.metric, ix.times, lo, hi)
+		}
 	}
 	scr.Subtasks = plan.Subtasks[:0]
 	planDur := time.Since(planStart)

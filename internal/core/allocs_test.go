@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/invariant"
+	"repro/internal/sq"
 	"repro/internal/theap"
 )
 
@@ -53,5 +54,58 @@ func TestSearchTauBufZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("SearchTauBuf allocates %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestSearchTauBufCompressedZeroAllocs extends the gate to the SQ8 path:
+// with compression on, the same query runs the code-space graph search,
+// LUT fill, and exact re-rank — all from Scratch arenas — and must stay
+// off the heap just like the flat path. The plan is checked to actually
+// contain compressed blocks so the gate cannot silently measure a flat
+// fallback.
+func TestSearchTauBufCompressedZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate inside guarded blocks")
+	}
+	opts := testOptions(16)
+	opts.QueryWorkers = 1
+	opts.Compression = sq.SQ8
+	opts.RerankFactor = 4
+	ix, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := fill(t, ix, 7, 320)
+
+	ctx := context.Background()
+	scr := NewScratch()
+	var dst []theap.Neighbor
+	p := graph.SearchParams{MC: 32, Eps: 1.2}
+	q := vecs[17]
+	const k, ts, te = 10, 40, 280
+
+	plan := ix.ExplainTau(ts, te, opts.Tau)
+	compressed := 0
+	for _, b := range plan.Blocks {
+		if b.Compressed {
+			compressed++
+		}
+	}
+	if compressed == 0 {
+		t.Fatalf("plan selected no compressed blocks; gate would measure the flat path\n%s", plan)
+	}
+
+	for i := 0; i < 8; i++ {
+		dst, _ = ix.SearchTauBuf(ctx, scr, dst, q, k, ts, te, opts.Tau, p, nil)
+	}
+	if len(dst) != k {
+		t.Fatalf("warmup query returned %d results, want %d", len(dst), k)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, _ = ix.SearchTauBuf(ctx, scr, dst, q, k, ts, te, opts.Tau, p, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("compressed SearchTauBuf allocates %.1f times per query, want 0", allocs)
 	}
 }

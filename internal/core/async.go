@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/invariant"
+	"repro/internal/sq"
 	"repro/internal/vec"
 )
 
@@ -60,10 +61,14 @@ func (ix *Index) processSeal(job sealJob) {
 	ix.mu.RUnlock()
 
 	graphs := make([]*graph.CSR, len(cascade))
+	codes := make([]*sq.Codes, len(cascade))
 	build := func(i int) {
 		p := cascade[i]
 		view := vec.View{Store: snap, Lo: p.lo, Hi: p.hi, Metric: ix.opts.Metric}
 		graphs[i] = ix.opts.Builder.Build(view, ix.opts.Seed+int64(base+i))
+		if ix.compressHeight(p.height) {
+			codes[i] = sq.Train(snap, p.lo, p.hi, sq.TrainConfig{})
+		}
 	}
 	if ix.opts.Workers > 1 && len(cascade) > 1 {
 		sem := make(chan struct{}, ix.opts.Workers)
@@ -86,7 +91,7 @@ func (ix *Index) processSeal(job sealJob) {
 
 	ix.mu.Lock()
 	for i, p := range cascade {
-		ix.blocks = append(ix.blocks, Block{Lo: p.lo, Hi: p.hi, Height: p.height, Graph: graphs[i]})
+		ix.blocks = append(ix.blocks, Block{Lo: p.lo, Hi: p.hi, Height: p.height, Graph: graphs[i], Codes: codes[i]})
 	}
 	merged := len(cascade) - 1
 	ix.forest = ix.forest[:len(ix.forest)-merged]

@@ -34,6 +34,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/invariant"
+	"repro/internal/sq"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -75,6 +76,19 @@ type Options struct {
 	// Seed drives builder randomization; block i is built with seed
 	// Seed + i so that construction is reproducible yet blocks differ.
 	Seed int64
+	// Compression selects the sealed-block vector codec: sq.None keeps
+	// blocks flat; sq.SQ8 trains a per-block scalar quantizer at seal time
+	// and queries search the codes asymmetrically with an exact re-rank.
+	Compression sq.Kind
+	// CompressMinHeight only compresses blocks of at least this height,
+	// leaving the smallest (cheapest-to-scan) levels flat. Zero compresses
+	// every sealed block.
+	CompressMinHeight int
+	// RerankFactor is the compressed-query over-fetch multiplier: a
+	// compressed block contributes its k·RerankFactor best code-space
+	// candidates, re-ranked exactly against the float32 store. Zero
+	// defaults to exec.DefaultRerankFactor.
+	RerankFactor int
 }
 
 // Validate reports whether the options are usable.
@@ -100,15 +114,28 @@ func (o *Options) Validate() error {
 	if o.QueryWorkers < 0 {
 		return fmt.Errorf("mbi: QueryWorkers must be non-negative, got %d", o.QueryWorkers)
 	}
+	if !o.Compression.Valid() {
+		return fmt.Errorf("mbi: invalid compression kind %d", o.Compression)
+	}
+	if o.CompressMinHeight < 0 {
+		return fmt.Errorf("mbi: CompressMinHeight must be non-negative, got %d", o.CompressMinHeight)
+	}
+	if o.RerankFactor < 0 {
+		return fmt.Errorf("mbi: RerankFactor must be non-negative, got %d", o.RerankFactor)
+	}
 	return nil
 }
 
 // Block is one node of the MBI tree: a contiguous global range plus its
-// proximity graph. Height 0 is a (sealed) leaf.
+// proximity graph. Height 0 is a (sealed) leaf. Codes is the block's SQ8
+// payload when Options.Compression asked for one at its level, nil
+// otherwise; a compressed block is searched through its codes with an
+// exact re-rank, an uncompressed one straight from the store.
 type Block struct {
 	Lo, Hi int
 	Height int
 	Graph  *graph.CSR
+	Codes  *sq.Codes
 }
 
 // Len returns the number of vectors the block covers.
@@ -304,14 +331,19 @@ func (ix *Index) sealLeafLocked() {
 		cascade = append(cascade, pending{root.Lo, n, curH})
 	}
 
-	// Build all graphs, in parallel when configured. Block i (by creation
-	// order) gets seed Seed + i for reproducibility.
+	// Build all graphs (and train any block codecs), in parallel when
+	// configured. Block i (by creation order) gets seed Seed + i for
+	// reproducibility.
 	base := len(ix.blocks)
 	graphs := make([]*graph.CSR, len(cascade))
+	codes := make([]*sq.Codes, len(cascade))
 	build := func(i int) {
 		p := cascade[i]
 		view := vec.View{Store: ix.store, Lo: p.lo, Hi: p.hi, Metric: ix.opts.Metric}
 		graphs[i] = ix.opts.Builder.Build(view, ix.opts.Seed+int64(base+i))
+		if ix.compressHeight(p.height) {
+			codes[i] = sq.Train(ix.store, p.lo, p.hi, sq.TrainConfig{})
+		}
 	}
 	if ix.opts.Workers > 1 && len(cascade) > 1 {
 		sem := make(chan struct{}, ix.opts.Workers)
@@ -335,7 +367,7 @@ func (ix *Index) sealLeafLocked() {
 	// Install in creation order: leaf first, then ancestors by height —
 	// exactly the postorder numbering Algorithm 3 prescribes.
 	for i, p := range cascade {
-		ix.blocks = append(ix.blocks, Block{Lo: p.lo, Hi: p.hi, Height: p.height, Graph: graphs[i]})
+		ix.blocks = append(ix.blocks, Block{Lo: p.lo, Hi: p.hi, Height: p.height, Graph: graphs[i], Codes: codes[i]})
 	}
 	// Update the forest: the cascade's topmost block replaces the roots it
 	// merged.
@@ -347,6 +379,12 @@ func (ix *Index) sealLeafLocked() {
 	if invariant.Enabled {
 		invariant.NoError(ix.checkInvariantsLocked(), "mbi: after synchronous seal cascade")
 	}
+}
+
+// compressHeight reports whether a sealed block of height h gets an SQ8
+// codec under the index options.
+func (ix *Index) compressHeight(h int) bool {
+	return ix.opts.Compression == sq.SQ8 && h >= ix.opts.CompressMinHeight
 }
 
 // blockWindowLocked returns the time window [ts, te) of the global range
@@ -374,6 +412,7 @@ func (ix *Index) blockWindowLocked(lo, hi int) (int64, int64) {
 type selection struct {
 	lo, hi   int
 	g        *graph.CSR
+	codes    *sq.Codes // non-nil when the block is SQ8-compressed
 	openLeaf bool
 }
 
@@ -432,7 +471,7 @@ func (ix *Index) selectInLocked(bi int, ts, te int64, tau float64, out *[]select
 	if b.Height == 0 || ro > tau {
 		// Case 2: leaves always count; internal blocks count when the
 		// window covers more than τ of them.
-		*out = append(*out, selection{lo: b.Lo, hi: b.Hi, g: b.Graph})
+		*out = append(*out, selection{lo: b.Lo, hi: b.Hi, g: b.Graph, codes: b.Codes})
 		return
 	}
 	// Case 3: recurse into the children. Postorder numbering puts the

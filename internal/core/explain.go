@@ -32,6 +32,9 @@ type BlockPlan struct {
 	// BruteForce reports whether this block is answered by brute force
 	// (only the open leaf) rather than graph search.
 	BruteForce bool
+	// Compressed reports that the block is searched through its SQ8 codes
+	// (asymmetric distances + exact re-rank) rather than the float store.
+	Compressed bool
 	// Duration is the block subtask's wall-clock run time. Zero unless the
 	// plan was executed (SearchExplainContext).
 	Duration time.Duration
@@ -63,8 +66,9 @@ type Plan struct {
 	Partial bool
 	// Select, Search, Merge are the executed query's stage durations:
 	// block selection + planning, per-block subtask execution, and the
-	// final theap.Merge combine.
-	Select, Search, Merge time.Duration
+	// final theap.Merge combine. Rerank is the CPU time compressed blocks
+	// spent re-scoring candidates exactly; it is contained in Search.
+	Select, Search, Merge, Rerank time.Duration
 }
 
 // String renders the plan like an EXPLAIN output; executed plans include
@@ -75,6 +79,9 @@ func (p Plan) String() string {
 		p.WindowStart, p.WindowEnd, p.TotalInWindow, len(p.Blocks), p.Tau)
 	if p.Executed {
 		fmt.Fprintf(&b, "executed: select %v, search %v, merge %v", p.Select, p.Search, p.Merge)
+		if p.Rerank > 0 {
+			fmt.Fprintf(&b, " (rerank %v)", p.Rerank)
+		}
 		if p.Partial {
 			b.WriteString(" (partial)")
 		}
@@ -82,6 +89,9 @@ func (p Plan) String() string {
 	}
 	for _, blk := range p.Blocks {
 		kind := fmt.Sprintf("height %d, graph", blk.Height)
+		if blk.Compressed {
+			kind = fmt.Sprintf("height %d, graph+sq8", blk.Height)
+		}
 		if blk.BruteForce {
 			kind = "open leaf, brute force"
 		}
@@ -141,6 +151,7 @@ func (ix *Index) explainSelLocked(sel []selection, ts, te int64, tau float64) Pl
 			OverlapRatio: ro,
 			InWindow:     inWindow,
 			BruteForce:   s.openLeaf,
+			Compressed:   s.codes != nil,
 		})
 		plan.TotalInWindow += inWindow
 	}
@@ -173,6 +184,7 @@ func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, t
 	plan.Select = selDur
 	plan.Search = out.Search
 	plan.Merge = out.Merge
+	plan.Rerank = out.Rerank
 	// planLocked emits exactly one subtask per selection, in order, so the
 	// executed results annotate the static blocks 1:1. The annotations are
 	// copied out of the outcome before the scratch is returned to its pool.

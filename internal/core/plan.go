@@ -105,6 +105,14 @@ func (ix *Index) planLocked(scr *Scratch, sel []selection, q []float32, k int, t
 			st.Entries = ix.pickEntriesLocked(scr, s, rng, ent)
 			st.Times = ix.times[s.lo:s.hi]
 			st.Ts, st.Te = ts, te
+			if s.codes != nil {
+				// Compressed block: walk the graph against the SQ8 codes,
+				// over-fetching k·RerankFactor so the exact re-rank can
+				// recover ordering errors the quantizer introduced.
+				st.Kind = exec.CompressedGraph
+				st.Codes = s.codes
+				st.RerankK = exec.RerankK(k, ix.opts.RerankFactor, s.hi-s.lo)
+			}
 		}
 		plan.Subtasks = append(plan.Subtasks, st)
 	}

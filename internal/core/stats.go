@@ -25,6 +25,11 @@ type Stats struct {
 	ForestHeights []int
 	// OpenLeafFill is the number of vectors in the open (non-full) leaf.
 	OpenLeafFill int
+	// CompressedBlocks counts sealed blocks carrying SQ8 codes.
+	CompressedBlocks int
+	// CodeBytes is the total memory of all blocks' SQ8 codes (codes,
+	// per-dim parameters, and cached norms).
+	CodeBytes int64
 }
 
 // Stats returns a snapshot of the index shape.
@@ -44,6 +49,10 @@ func (ix *Index) Stats() Stats {
 		s.GraphEdges += int64(b.Graph.NumEdges())
 		if b.Height > s.TreeHeight {
 			s.TreeHeight = b.Height
+		}
+		if b.Codes != nil {
+			s.CompressedBlocks++
+			s.CodeBytes += int64(b.Codes.Bytes())
 		}
 	}
 	for _, root := range ix.forest {
@@ -98,6 +107,17 @@ func (ix *Index) checkInvariantsLocked() error {
 		if b.Graph.NumNodes() != b.Len() {
 			return fmt.Errorf("mbi: block %d graph has %d nodes for %d vectors", i, b.Graph.NumNodes(), b.Len())
 		}
+		if b.Codes != nil {
+			if err := b.Codes.Validate(); err != nil {
+				return fmt.Errorf("mbi: block %d: %w", i, err)
+			}
+			if b.Codes.Dim != ix.opts.Dim {
+				return fmt.Errorf("mbi: block %d codes have dim %d, want %d", i, b.Codes.Dim, ix.opts.Dim)
+			}
+			if b.Codes.N != b.Len() {
+				return fmt.Errorf("mbi: block %d codes cover %d vectors, want %d", i, b.Codes.N, b.Len())
+			}
+		}
 		if b.Height > 0 {
 			li := i - (1 << uint(b.Height))
 			ri := i - 1
@@ -147,6 +167,18 @@ func (ix *Index) checkInvariantsLocked() error {
 		return fmt.Errorf("mbi: open leaf holds %d vectors with S_L = %d", fill, ix.opts.LeafSize)
 	}
 	return nil
+}
+
+// SetRerankFactor changes the compressed-block over-fetch multiplier on a
+// live index (0 restores the default). Benchmarks sweep it per query batch;
+// the write lock orders the change against in-flight searches.
+func (ix *Index) SetRerankFactor(f int) {
+	if f < 0 {
+		f = 0
+	}
+	ix.mu.Lock()
+	ix.opts.RerankFactor = f
+	ix.mu.Unlock()
 }
 
 // Store exposes the backing vector store for persistence. The returned

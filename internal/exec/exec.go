@@ -30,11 +30,13 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/sq"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
 
-// Kind distinguishes the two subtask flavors of Algorithm 4.
+// Kind distinguishes the subtask flavors: the two of Algorithm 4, plus
+// their compressed (SQ8) counterparts.
 type Kind int
 
 const (
@@ -44,14 +46,28 @@ const (
 	// BruteScan answers the subtask with an exact linear scan
 	// (Algorithm 1) — open leaves, unbuilt tails, probed IVF lists.
 	BruteScan
+	// CompressedGraph is GraphSearch over an SQ8-compressed block: the walk
+	// scores candidates against byte codes through an asymmetric lookup
+	// table, over-fetches RerankK, and re-ranks the survivors exactly
+	// against the float32 store.
+	CompressedGraph
+	// CompressedScan is BruteScan over SQ8 codes with the same over-fetch
+	// and exact re-rank.
+	CompressedScan
 )
 
 // String returns the kind's name.
 func (k Kind) String() string {
-	if k == BruteScan {
+	switch k {
+	case BruteScan:
 		return "brute-scan"
+	case CompressedGraph:
+		return "compressed-graph"
+	case CompressedScan:
+		return "compressed-scan"
+	default:
+		return "graph-search"
 	}
-	return "graph-search"
 }
 
 // Subtask is one independent unit of a query plan: a contiguous global
@@ -96,6 +112,14 @@ type Subtask struct {
 	Times   []int64
 	Ts, Te  int64
 
+	// Compressed inputs (Kind == CompressedScan or CompressedGraph): Codes
+	// is the block's SQ8 payload — its local row i is global row Lo+i — and
+	// RerankK is the over-fetch size (k·rerankFactor, clipped to the rows
+	// the kernel can produce) collected from the codes before the exact
+	// float32 re-rank.
+	Codes   *sq.Codes
+	RerankK int
+
 	// Run, when non-nil, overrides the built-in kernels: it returns up to
 	// the plan's K neighbors with global ids in ascending distance order
 	// and is called at most once, possibly on a pool goroutine. Tests and
@@ -128,6 +152,10 @@ type SubtaskResult struct {
 	Skipped bool
 	// Found is the number of neighbors the subtask returned.
 	Found int
+	// Rerank is the time the compressed kernels spent re-scoring their
+	// over-fetched candidates against the float32 store (zero for
+	// uncompressed subtasks). It is contained in Duration.
+	Rerank time.Duration
 }
 
 // Outcome describes how a plan executed: the per-stage timings the server
@@ -142,6 +170,11 @@ type Outcome struct {
 	Select time.Duration
 	// Search is the wall-clock duration of the subtask-execution stage.
 	Search time.Duration
+	// Rerank is the summed per-subtask exact re-rank time of the plan's
+	// compressed kernels — CPU time, so under parallel fan-out it can
+	// exceed its share of the wall-clock Search. Zero for uncompressed
+	// plans.
+	Rerank time.Duration
 	// Merge is the duration of the final theap.Merge combine.
 	Merge time.Duration
 	// Subtasks records per-subtask execution, in plan order.
@@ -243,6 +276,7 @@ func (e Executor) RunScratch(ctx context.Context, p Plan, scr *Scratch) ([]theap
 
 	completed := lists[:0]
 	for i := range lists {
+		out.Rerank += out.Subtasks[i].Rerank
 		if out.Subtasks[i].Skipped {
 			out.Partial = true
 		} else if len(lists[i]) > 0 {
@@ -273,6 +307,30 @@ func (e Executor) RunScratch(ctx context.Context, p Plan, scr *Scratch) ([]theap
 	}
 	out.Merge = time.Since(mergeStart)
 	return result, out
+}
+
+// DefaultRerankFactor is the over-fetch multiplier compressed subtasks use
+// when their planner does not set one: the compressed kernel collects
+// k·factor candidates, then the exact re-rank keeps the true top k. Four
+// recovers ≥ 0.95 of flat-index recall@10 on the drifting-cluster dataset
+// (see BENCH_sq.json) while re-scoring only tens of vectors.
+const DefaultRerankFactor = 4
+
+// RerankK is the over-fetch size a compressed subtask collects before its
+// exact re-rank: k·factor clipped to the n rows the subtask can produce,
+// never below k. factor <= 0 selects DefaultRerankFactor.
+func RerankK(k, factor, n int) int {
+	if factor <= 0 {
+		factor = DefaultRerankFactor
+	}
+	rk := k * factor
+	if rk > n {
+		rk = n
+	}
+	if rk < k {
+		rk = k
+	}
+	return rk
 }
 
 // CopyNeighbors returns a fresh copy of src, preserving nil — how the

@@ -43,7 +43,9 @@ type Scratch struct {
 	results   []SubtaskResult
 	lists     [][]theap.Neighbor
 	tops      []theap.TopK
+	rtops     []theap.TopK      // per-subtask exact re-rank heaps (compressed kinds): tops[i] holds the over-fetched candidates while rtops[i] collects the re-scored top-k, because TopK.Items aliases its backing and cannot be refilled while iterated
 	searchers []*graph.Searcher // one per worker slot
+	luts      [][]float32       // per-worker-slot asymmetric-distance tables (dim·256 floats, grown on first compressed subtask)
 	merger    theap.Merger
 	next      atomic.Int64 // parallel-mode claim counter
 }
@@ -78,13 +80,29 @@ func (s *Scratch) ensure(n int) {
 	grown := make([]theap.TopK, n)
 	copy(grown, s.tops)
 	s.tops = grown
+	//lint:ignore hotpath-alloc cold-start growth; retained for every later query on this scratch
+	rgrown := make([]theap.TopK, n)
+	copy(rgrown, s.rtops)
+	s.rtops = rgrown
 }
 
-// ensureWorkers guarantees one graph searcher per worker slot.
+// ensureLUT returns worker slot's lookup-table buffer with length >= n,
+// growing it on first use like every other scratch arena.
+func (s *Scratch) ensureLUT(slot, n int) []float32 {
+	if cap(s.luts[slot]) < n {
+		//lint:ignore hotpath-alloc cold-start growth; the table is retained for every later query on this scratch
+		s.luts[slot] = make([]float32, n)
+	}
+	return s.luts[slot][:n]
+}
+
+// ensureWorkers guarantees one graph searcher and one LUT slot per worker.
 func (s *Scratch) ensureWorkers(w int) {
 	for len(s.searchers) < w {
 		//lint:ignore hotpath-alloc,scratch-reuse cold-start growth; searchers persist across queries
 		s.searchers = append(s.searchers, graph.NewSearcher(0))
+		//lint:ignore hotpath-alloc,scratch-reuse cold-start growth; LUT slots persist across queries
+		s.luts = append(s.luts, nil)
 	}
 }
 
@@ -126,8 +144,13 @@ func (s *Scratch) runSubtask(ctx context.Context, p *Plan, i, slot int) []theap.
 	}
 	top := &s.tops[i]
 	top.ResetK(p.K)
-	if st.Kind == GraphSearch {
+	switch st.Kind {
+	case GraphSearch:
 		return s.graphKernel(st, p.Query, p.K, top, slot)
+	case CompressedGraph:
+		return s.compressedGraphKernel(st, p.Query, p.K, top, i, slot)
+	case CompressedScan:
+		return s.compressedScanKernel(ctx, st, p.Query, p.K, top, i, slot)
 	}
 	if st.List != nil {
 		ScanListInto(ctx, top, st.Store, st.Metric, p.Query, st.List)
@@ -164,6 +187,86 @@ func (s *Scratch) graphKernel(st *Subtask, q []float32, k int, top *theap.TopK, 
 	return res
 }
 
+// compressedScanKernel answers a CompressedScan subtask: an asymmetric
+// linear scan of the block's SQ8 codes over the window rows [ScanLo,
+// ScanHi), over-fetching RerankK candidates into top, then the exact
+// float32 re-rank keeps the true top k. The LUT is per worker slot and
+// rebuilt per subtask; candidate ids are global throughout (codes row g
+// maps to global row st.Lo+g).
+//
+//tknn:hotpath
+func (s *Scratch) compressedScanKernel(ctx context.Context, st *Subtask, q []float32, k int, top *theap.TopK, i, slot int) []theap.Neighbor {
+	rk := RerankK(k, 0, st.ScanHi-st.ScanLo)
+	if st.RerankK > 0 {
+		rk = st.RerankK
+	}
+	top.ResetK(rk)
+	lut := s.ensureLUT(slot, st.Codes.LUTLen())
+	st.Codes.FillLUT(st.Metric, q, lut)
+	qn := vec.Norm(q)
+	for g := st.ScanLo; g < st.ScanHi; g++ {
+		if (g-st.ScanLo)%scanPoll == scanPoll-1 && ctx.Err() != nil {
+			break
+		}
+		top.Push(theap.Neighbor{ID: int32(g), Dist: st.Codes.LUTDist(st.Metric, lut, qn, g-st.Lo)})
+	}
+	return s.rerank(st, q, k, top.Items(), i)
+}
+
+// compressedGraphKernel answers a CompressedGraph subtask: the Algorithm 2
+// walk scores candidates against the block's SQ8 codes through the slot's
+// LUT, over-fetches RerankK, and the exact re-rank keeps the true top k.
+//
+//tknn:hotpath
+func (s *Scratch) compressedGraphKernel(st *Subtask, q []float32, k int, top *theap.TopK, i, slot int) []theap.Neighbor {
+	rk := RerankK(k, 0, st.Hi-st.Lo)
+	if st.RerankK > 0 {
+		rk = st.RerankK
+	}
+	lut := s.ensureLUT(slot, st.Codes.LUTLen())
+	st.Codes.FillLUT(st.Metric, q, lut)
+	qn := vec.Norm(q)
+	sr := s.searchers[slot]
+	sr.SearchCodesInto(top, st.Graph, st.Codes, lut, st.Metric, qn, st.Times, st.Ts, st.Te, st.Params, st.Entries, rk)
+	cands := top.Items()
+	base := int32(st.Lo)
+	for j := range cands {
+		cands[j].ID += base
+	}
+	res := s.rerank(st, q, k, cands, i)
+	if invariant.Enabled {
+		for j, nb := range res {
+			invariant.Checkf(int(nb.ID) >= st.Lo && int(nb.ID) < st.Hi,
+				"exec: compressed result %d has id %d outside [%d,%d)", j, nb.ID, st.Lo, st.Hi)
+			invariant.Checkf(st.Times == nil ||
+				(st.Times[nb.ID-base] >= st.Ts && st.Times[nb.ID-base] < st.Te),
+				"exec: compressed result %d (id %d) fails the time window", j, nb.ID)
+			invariant.Checkf(j == 0 || !theap.Less(res[j], res[j-1]),
+				"exec: compressed results not ascending at %d", j)
+		}
+	}
+	return res
+}
+
+// rerank is the exact re-rank stage shared by the compressed kernels: the
+// over-fetched candidates (global ids, asymmetric distances) are re-scored
+// against the float32 store into the subtask's re-rank heap, which keeps
+// the exact top k. Its duration is recorded on the subtask's result — the
+// Rerank stage the server exports.
+//
+//tknn:hotpath
+func (s *Scratch) rerank(st *Subtask, q []float32, k int, cands []theap.Neighbor, i int) []theap.Neighbor {
+	start := time.Now()
+	rt := &s.rtops[i]
+	rt.ResetK(k)
+	qsq := vec.SquaredNorm(q)
+	for _, nb := range cands {
+		rt.Push(theap.Neighbor{ID: nb.ID, Dist: vec.DistanceStored(st.Metric, q, qsq, st.Store, int(nb.ID))})
+	}
+	s.results[i].Rerank = time.Since(start)
+	return rt.Items()
+}
+
 // scanPoll is how many rows a brute-scan kernel scores between context
 // polls: rare enough to stay off the hot path, frequent enough that
 // cancelling a scan takes microseconds.
@@ -177,11 +280,12 @@ const scanPoll = 2048
 //
 //tknn:hotpath
 func ScanInto(ctx context.Context, top *theap.TopK, store *vec.Store, metric vec.Metric, q []float32, lo, hi int) {
+	qsq := vec.SquaredNorm(q) // hoisted once; the angular path then reads cached vector norms
 	for i := lo; i < hi; i++ {
 		if (i-lo)%scanPoll == scanPoll-1 && ctx.Err() != nil {
 			return
 		}
-		top.Push(theap.Neighbor{ID: int32(i), Dist: vec.Distance(metric, q, store.At(i))})
+		top.Push(theap.Neighbor{ID: int32(i), Dist: vec.DistanceStored(metric, q, qsq, store, i)})
 	}
 }
 
@@ -190,10 +294,11 @@ func ScanInto(ctx context.Context, top *theap.TopK, store *vec.Store, metric vec
 //
 //tknn:hotpath
 func ScanListInto(ctx context.Context, top *theap.TopK, store *vec.Store, metric vec.Metric, q []float32, ids []int32) {
+	qsq := vec.SquaredNorm(q)
 	for j, id := range ids {
 		if j%scanPoll == scanPoll-1 && ctx.Err() != nil {
 			return
 		}
-		top.Push(theap.Neighbor{ID: id, Dist: vec.Distance(metric, q, store.At(int(id)))})
+		top.Push(theap.Neighbor{ID: id, Dist: vec.DistanceStored(metric, q, qsq, store, int(id))})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/invariant"
+	"repro/internal/sq"
 	"repro/internal/theap"
 	"repro/internal/vec"
 )
@@ -29,7 +30,34 @@ type Searcher struct {
 	admitted []uint32 // epoch-stamped per query, dedups restarts' results
 	aEpoch   uint32
 	frontier theap.MinQueue
-	entryBuf []int32 // reused entry-seed backing for the compat Search path
+	entryBuf []int32  // reused entry-seed backing for the compat Search path
+	eval     distEval // the current query's candidate scorer (flat or compressed)
+}
+
+// distEval scores walk candidates for one query. The flat form reads the
+// store through a view with the query's squared norm hoisted; the
+// compressed form (codes != nil) reads SQ8 codes through the caller's
+// asymmetric lookup table. It lives inside the Searcher — not on the stack
+// — so handing it to the walk never escapes a per-query allocation, and it
+// is a struct with a branch rather than a function value for the same
+// reason (a per-query closure is one heap allocation per block per query).
+type distEval struct {
+	view   vec.View
+	qsq    float32 // SquaredNorm(query), flat angular path
+	codes  *sq.Codes
+	lut    []float32
+	qn     float32 // Norm(query), compressed angular path
+	metric vec.Metric
+}
+
+// dist scores local node i against the query.
+//
+//tknn:hotpath
+func (e *distEval) dist(q []float32, i int32) float32 {
+	if e.codes != nil {
+		return e.codes.LUTDist(e.metric, e.lut, e.qn, int(i))
+	}
+	return e.view.DistToCached(q, e.qsq, int(i))
 }
 
 // NewSearcher returns a Searcher sized for graphs up to n nodes. It grows
@@ -127,21 +155,45 @@ func (s *Searcher) SearchInto(result *theap.TopK, g *CSR, view vec.View, q []flo
 	s.searchInto(result, g, view, q, &f, p, entries)
 }
 
+// SearchCodesInto is SearchInto over a compressed block: candidates are
+// scored against SQ8 codes through lut (built by codes.FillLUT for this
+// query and metric) instead of the float32 store, so the walk reads one
+// byte per coordinate. qNorm is the query's L2 norm (vec.Norm), consumed
+// by the angular finish. Distances in result are asymmetric-approximate;
+// callers over-fetch and re-rank exactly (see exec's compressed kernels).
+//
+//tknn:hotpath
+func (s *Searcher) SearchCodesInto(result *theap.TopK, g *CSR, codes *sq.Codes, lut []float32, metric vec.Metric, qNorm float32, times []int64, ts, te int64, p SearchParams, entries []int32, k int) {
+	if g.NumNodes() == 0 || len(entries) == 0 || k <= 0 {
+		return
+	}
+	result.ResetK(k)
+	f := timeFilter{times: times, ts: ts, te: te}
+	s.eval = distEval{codes: codes, lut: lut, qn: qNorm, metric: metric}
+	s.run(result, g, nil, &f, p, metric, entries)
+}
+
 // searchInto runs the query's walks against a prepared filter: the shared
 // core of Search and SearchInto.
 func (s *Searcher) searchInto(result *theap.TopK, g *CSR, view vec.View, q []float32, f *timeFilter, p SearchParams, entries []int32) {
-	// Euclidean views compare squared distances, so the range-extension
+	s.eval = distEval{view: view, qsq: vec.SquaredNorm(q), metric: view.Metric}
+	s.run(result, g, q, f, p, view.Metric, entries)
+}
+
+// run executes the query's walks with the prepared scorer (s.eval).
+func (s *Searcher) run(result *theap.TopK, g *CSR, q []float32, f *timeFilter, p SearchParams, metric vec.Metric, entries []int32) {
+	// Euclidean scorers compare squared distances, so the range-extension
 	// factor is squared to keep ε's meaning ("explore up to ε times the
 	// current k-th distance") metric-independent and comparable to the
 	// paper's 1.00–1.40 sweep.
 	eps := p.Eps
-	if view.Metric == vec.Euclidean {
+	if metric == vec.Euclidean {
 		eps *= eps
 	}
 	s.beginQuery(g.NumNodes())
-	s.walk(g, view, q, f, p, eps, entries[0], result, false)
+	s.walk(g, q, f, p, eps, entries[0], result, false)
 	for _, e := range entries[1:] {
-		s.walk(g, view, q, f, p, eps, e, result, true)
+		s.walk(g, q, f, p, eps, e, result, true)
 	}
 }
 
@@ -157,11 +209,11 @@ func (s *Searcher) searchInto(result *theap.TopK, g *CSR, view vec.View, q []flo
 // pure greedy descent is allowed from anywhere, and the full ε-bounded
 // broadening resumes once the walk is inside the bound. The first walk is
 // Algorithm 2 verbatim.
-func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter *timeFilter, p SearchParams, eps float32, entry int32, result *theap.TopK, restart bool) {
+func (s *Searcher) walk(g *CSR, q []float32, filter *timeFilter, p SearchParams, eps float32, entry int32, result *theap.TopK, restart bool) {
 	s.beginEpoch(g.NumNodes())
 	s.frontier.Reset()
 	s.markSeen(entry)
-	s.frontier.Push(theap.Neighbor{ID: entry, Dist: view.DistTo(q, int(entry))})
+	s.frontier.Push(theap.Neighbor{ID: entry, Dist: s.eval.dist(q, entry)})
 
 	// The loop runs until the candidate set is exhausted (line 5): unlike
 	// many best-first searches there is no early break on the frontier
@@ -185,7 +237,7 @@ func (s *Searcher) walk(g *CSR, view vec.View, q []float32, filter *timeFilter, 
 				continue
 			}
 			s.markSeen(nb)
-			d := view.DistTo(q, int(nb))
+			d := s.eval.dist(q, nb)
 			if bounded && d >= bound && !(restart && d < cur.Dist) {
 				continue
 			}

@@ -25,6 +25,12 @@ func (s *system) recallFloor(cfg Config) float64 { return s.floor(cfg) }
 func graphFloor(cfg Config) float64 { return cfg.RecallFloor }
 func alwaysExact(tknn.Query) bool   { return true }
 
+// sq8RecallFloor is the aggregate recall bound for the SQ8-compressed MBI
+// variant. The default rerank factor (4) recovers most quantization loss,
+// but the walk itself routes on approximate distances, so the floor sits
+// below the flat-graph floor on purpose.
+const sq8RecallFloor = 0.80
+
 // newSystems builds one instance of every index variant the oracle
 // exercises. closeAll must be called when the replay finishes.
 func newSystems(cfg Config) ([]*system, func(), error) {
@@ -88,6 +94,30 @@ func newSystems(cfg Config) ([]*system, func(), error) {
 			return planIsBruteForce(mbiAsync.Explain(q.Start, q.End))
 		},
 		floor: graphFloor,
+	})
+
+	// MBI with SQ8-compressed blocks: graph walks read quantized codes and
+	// re-rank exactly. Quantization loses information, so this system gets
+	// an explicit floor below the graph floor — it guards against the
+	// compressed path collapsing (wrong LUT, broken re-rank), not against
+	// the inherent quantization cost the paper's §4.1 modularity argument
+	// accepts.
+	mbiSQ8, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, LeafSize: cfg.LeafSize, Seed: cfg.Seed + 1,
+		Compression: tknn.CompressionSQ8,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name: "mbi-sq8",
+		add:  mbiSQ8.Add,
+		search: func(q tknn.Query) ([]tknn.Result, error) {
+			return mbiSQ8.SearchContext(context.Background(), q)
+		},
+		exact: func(q tknn.Query) bool { return planIsBruteForce(mbiSQ8.Explain(q.Start, q.End)) },
+		floor: func(Config) float64 { return sq8RecallFloor },
 	})
 
 	// SF with no graph build: every query falls through to the exact

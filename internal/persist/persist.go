@@ -7,7 +7,11 @@
 // Format history: version 1 had no integrity check, so a truncated or
 // bit-rotted file could deserialize into garbage. Version 2 appends an
 // 8-byte footer — magic plus the CRC32C of every preceding byte — which
-// the loaders verify before restoring. Version-1 files are still read.
+// the loaders verify before restoring. Version 3 follows each MBI block's
+// graph with a presence byte and, when set, the block's SQ8 codes
+// (per-dim quantizer parameters, 1-byte codes, cached norms), all inside
+// the CRC envelope. Version-1 and version-2 files are still read; they
+// simply restore with no codes, searching flat.
 package persist
 
 import (
@@ -20,16 +24,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sf"
+	"repro/internal/sq"
 	"repro/internal/vec"
 )
 
 // Format constants.
 const (
 	magic = uint32(0x4d424958) // "MBIX"
-	// version 2 appended the CRC32C footer; version 1 files (no footer)
-	// remain readable.
-	version       = uint32(2)
-	legacyVersion = uint32(1)
+	// version 3 added optional per-block SQ8 codes; version 2 appended the
+	// CRC32C footer. Both predecessors remain readable.
+	version        = uint32(3)
+	crcVersion     = uint32(2)
+	legacyVersion  = uint32(1)
+	minCodeVersion = uint32(3) // first version carrying per-block codes
 
 	kindMBI = uint8(0)
 	kindSF  = uint8(1)
@@ -128,6 +135,9 @@ func SaveMBI(w io.Writer, ix *core.Index) error {
 		if err := writeGraph(cw, b.Graph); err != nil {
 			return err
 		}
+		if err := writeCodes(cw, b.Codes); err != nil {
+			return err
+		}
 	}
 	if err := writeFooter(bw, cw.sum); err != nil {
 		return err
@@ -185,7 +195,13 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		blocks = append(blocks, core.Block{Lo: int(lo), Hi: int(hi), Height: int(height), Graph: g})
+		b := core.Block{Lo: int(lo), Hi: int(hi), Height: int(height), Graph: g}
+		if ver >= minCodeVersion {
+			if b.Codes, err = readCodes(cr); err != nil {
+				return nil, err
+			}
+		}
+		blocks = append(blocks, b)
 	}
 	// Footer first: don't hand Restore bytes the checksum disowns. Read
 	// from br, past the crcReader — the footer does not hash itself.
@@ -301,7 +317,7 @@ func readHeader(r io.Reader, wantKind uint8) (uint32, vec.Metric, int, int, erro
 	if uint32(m) != magic {
 		return 0, 0, 0, 0, fmt.Errorf("persist: bad magic %#x", m)
 	}
-	if uint32(v) != version && uint32(v) != legacyVersion {
+	if uint32(v) != version && uint32(v) != crcVersion && uint32(v) != legacyVersion {
 		return 0, 0, 0, 0, fmt.Errorf("persist: unsupported version %d", v)
 	}
 	var kind, metric uint8
@@ -431,6 +447,89 @@ func readGraph(r io.Reader) (*graph.CSR, error) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return g, nil
+}
+
+// writeCodes serializes a block's optional SQ8 section: a presence byte,
+// then — when present — the code dimensions followed by the quantizer
+// parameters, the packed codes, and the cached norms. All of it flows
+// through the caller's crcWriter, so the existing footer vouches for the
+// codes byte-for-byte.
+func writeCodes(w io.Writer, c *sq.Codes) error {
+	if c == nil {
+		return binaryWrite(w, uint8(0))
+	}
+	if err := binaryWrite(w, uint8(1)); err != nil {
+		return err
+	}
+	if err := writeInts(w, uint64(c.Dim), uint64(c.N)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, order, c.Min); err != nil {
+		return err
+	}
+	if err := binary.Write(w, order, c.Step); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.Data); err != nil {
+		return err
+	}
+	return binary.Write(w, order, c.Norms)
+}
+
+// readCodes reads the optional SQ8 section written by writeCodes. The
+// counts are untrusted (chunked reads); the decoded structure is validated
+// before use so a corrupt-but-CRC-passing section still cannot produce an
+// inconsistent quantizer.
+func readCodes(r io.Reader) (*sq.Codes, error) {
+	var present uint8
+	if err := binaryRead(r, &present); err != nil {
+		return nil, err
+	}
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("persist: bad codes presence byte %d", present)
+	}
+	var dim, n uint64
+	if err := readInts(r, &dim, &n); err != nil {
+		return nil, err
+	}
+	if dim == 0 || dim > 1<<20 || n > 1<<40 {
+		return nil, fmt.Errorf("persist: implausible code sizes (dim %d, %d rows)", dim, n)
+	}
+	c := &sq.Codes{Dim: int(dim), N: int(n)}
+	var err error
+	if c.Min, err = readFloat32Slice(r, int(dim)); err != nil {
+		return nil, err
+	}
+	if c.Step, err = readFloat32Slice(r, int(dim)); err != nil {
+		return nil, err
+	}
+	if c.Data, err = readUint8Slice(r, int(dim)*int(n)); err != nil {
+		return nil, err
+	}
+	if c.Norms, err = readFloat32Slice(r, int(n)); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return c, nil
+}
+
+func readUint8Slice(r io.Reader, n int) ([]uint8, error) {
+	out := make([]uint8, 0, minInt(n, readChunk))
+	for len(out) < n {
+		c := minInt(n-len(out), readChunk)
+		chunk := make([]uint8, c)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
 }
 
 func writeInts(w io.Writer, vs ...uint64) error {

@@ -20,10 +20,14 @@ type metrics struct {
 	searchLatency  histogram
 	insertLatency  histogram
 	// Per-stage search breakdown, exposed as one histogram family with a
-	// stage label (tknn_search_stage_seconds{stage="select"|"search"|"merge"}).
+	// stage label
+	// (tknn_search_stage_seconds{stage="select"|"search"|"merge"|"rerank"}).
+	// Rerank is contained in the search stage and stays at zero on
+	// uncompressed indexes.
 	stageSelect histogram
 	stageSearch histogram
 	stageMerge  histogram
+	stageRerank histogram
 }
 
 // histogram is a fixed-bucket latency histogram. Bounds are cumulative
@@ -110,11 +114,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tknn_search_latency_seconds Search latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_search_latency_seconds histogram\n")
 	m.searchLatency.write(w, "tknn_search_latency_seconds")
-	fmt.Fprintf(w, "# HELP tknn_search_stage_seconds Per-stage search time: planning/selection, per-block execution, merge.\n")
+	fmt.Fprintf(w, "# HELP tknn_search_stage_seconds Per-stage search time: planning/selection, per-block execution, merge, and the compressed-candidate exact re-rank (contained in search).\n")
 	fmt.Fprintf(w, "# TYPE tknn_search_stage_seconds histogram\n")
 	m.stageSelect.writeLabeled(w, "tknn_search_stage_seconds", `stage="select"`)
 	m.stageSearch.writeLabeled(w, "tknn_search_stage_seconds", `stage="search"`)
 	m.stageMerge.writeLabeled(w, "tknn_search_stage_seconds", `stage="merge"`)
+	m.stageRerank.writeLabeled(w, "tknn_search_stage_seconds", `stage="rerank"`)
 	fmt.Fprintf(w, "# HELP tknn_insert_latency_seconds Per-request insert latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_insert_latency_seconds histogram\n")
 	m.insertLatency.write(w, "tknn_insert_latency_seconds")

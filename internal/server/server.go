@@ -212,6 +212,10 @@ type SearchStages struct {
 	SelectSeconds float64 `json:"selectSeconds"`
 	SearchSeconds float64 `json:"searchSeconds"`
 	MergeSeconds  float64 `json:"mergeSeconds"`
+	// RerankSeconds is the exact re-scoring of compressed-block
+	// candidates, contained in SearchSeconds; zero on uncompressed
+	// indexes.
+	RerankSeconds float64 `json:"rerankSeconds,omitempty"`
 }
 
 // SearchResponse is the /search response body.
@@ -254,6 +258,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.stageSelect.observe(info.Select)
 	s.metrics.stageSearch.observe(info.Search)
 	s.metrics.stageMerge.observe(info.Merge)
+	s.metrics.stageRerank.observe(info.Rerank)
 	if info.Partial {
 		s.metrics.searchPartials.Add(1)
 	}
@@ -264,6 +269,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			SelectSeconds: info.Select.Seconds(),
 			SearchSeconds: info.Search.Seconds(),
 			MergeSeconds:  info.Merge.Seconds(),
+			RerankSeconds: info.Rerank.Seconds(),
 		},
 	}
 	for i, n := range res {

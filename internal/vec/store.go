@@ -15,9 +15,13 @@ import (
 // vectors are safe concurrently with a single appender as long as readers
 // obtained their length bound before the append (the MBI index enforces
 // this with its own lock).
+// Besides the coordinates, the store caches each vector's squared L2 norm
+// at append time (4 bytes/vector), so angular-distance hot paths never
+// renormalize stored vectors per call — DistanceStored reads the cache.
 type Store struct {
-	dim  int
-	data []float32
+	dim     int
+	data    []float32
+	sqnorms []float32 // sqnorms[i] == SquaredNorm(At(i)), maintained by every ingest path
 }
 
 // NewStore returns an empty store for dim-dimensional vectors.
@@ -33,6 +37,7 @@ func NewStore(dim int) *Store {
 func NewStoreCap(dim, n int) *Store {
 	s := NewStore(dim)
 	s.data = make([]float32, 0, dim*n)
+	s.sqnorms = make([]float32, 0, n)
 	return s
 }
 
@@ -67,8 +72,12 @@ func (s *Store) Append(v []float32) (int, error) {
 	}
 	id := s.Len()
 	s.data = append(s.data, v...)
+	s.sqnorms = append(s.sqnorms, SquaredNorm(v))
 	return id, nil
 }
+
+// SqNorm returns the cached squared L2 norm of vector i.
+func (s *Store) SqNorm(i int) float32 { return s.sqnorms[i] }
 
 // At returns the vector at index i as a slice aliasing the store's memory.
 // Callers must not modify the returned slice.
@@ -88,7 +97,12 @@ func (s *Store) Raw() []float32 { return s.data }
 // touch the snapshot's [0, Len) range. Used by MBI's asynchronous merge
 // worker to build block graphs without holding the index lock.
 func (s *Store) Snapshot() *Store {
-	return &Store{dim: s.dim, data: s.data[:len(s.data):len(s.data)]}
+	n := s.Len()
+	return &Store{
+		dim:     s.dim,
+		data:    s.data[:len(s.data):len(s.data)],
+		sqnorms: s.sqnorms[:n:n],
+	}
 }
 
 // FromRaw constructs a store that adopts buf as its backing memory.
@@ -100,7 +114,13 @@ func FromRaw(dim int, buf []float32) (*Store, error) {
 	if len(buf)%dim != 0 {
 		return nil, fmt.Errorf("vec: buffer length %d is not a multiple of dim %d", len(buf), dim)
 	}
-	return &Store{dim: dim, data: buf}, nil
+	s := &Store{dim: dim, data: buf}
+	n := s.Len()
+	s.sqnorms = make([]float32, n)
+	for i := 0; i < n; i++ {
+		s.sqnorms[i] = SquaredNorm(s.At(i))
+	}
+	return s, nil
 }
 
 // View is a read-only window over the contiguous range [Lo, Hi) of a store,
@@ -129,4 +149,13 @@ func (v View) Dist(i, j int) float32 {
 // local index i.
 func (v View) DistTo(q []float32, i int) float32 {
 	return Distance(v.Metric, q, v.Store.At(v.Lo+i))
+}
+
+// DistToCached is DistTo with the query's squared norm hoisted by the
+// caller (once per scan or walk), so the angular path reads the store's
+// cached vector norm instead of recomputing both norms per candidate.
+//
+//tknn:hotpath
+func (v View) DistToCached(q []float32, qSqNorm float32, i int) float32 {
+	return DistanceStored(v.Metric, q, qSqNorm, v.Store, v.Lo+i)
 }

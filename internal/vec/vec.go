@@ -96,6 +96,9 @@ func SquaredL2(a, b []float32) float32 {
 // SquaredNorm returns the squared L2 norm of a.
 func SquaredNorm(a []float32) float32 { return Dot(a, a) }
 
+// Norm returns the L2 norm of a.
+func Norm(a []float32) float32 { return sqrt32(SquaredNorm(a)) }
+
 // CosineDistance returns 1 - cos(a, b). Zero vectors are treated as
 // maximally distant from everything (distance 1), matching the convention
 // used by ann-benchmarks for angular datasets.
@@ -115,6 +118,25 @@ func Distance(m Metric, a, b []float32) float32 {
 		return SquaredL2(a, b)
 	}
 	return CosineDistance(a, b)
+}
+
+// DistanceStored evaluates metric m between query q and stored vector i,
+// using the store's cached squared norm so the angular path computes one
+// dot product instead of three. qSqNorm is SquaredNorm(q), hoisted by the
+// caller once per scan or walk. Bit-identical to Distance: the cached norm
+// is the same SquaredNorm the direct path would recompute.
+//
+//tknn:hotpath
+func DistanceStored(m Metric, q []float32, qSqNorm float32, s *Store, i int) float32 {
+	v := s.At(i)
+	if m == Euclidean {
+		return SquaredL2(q, v)
+	}
+	nb := s.sqnorms[i]
+	if qSqNorm == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - Dot(q, v)/sqrt32(qSqNorm*nb)
 }
 
 func sqrt32(x float32) float32 {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/nndescent"
 	"repro/internal/nsw"
 	"repro/internal/persist"
+	"repro/internal/sq"
 	"repro/internal/theap"
 )
 
@@ -34,6 +35,37 @@ func (a GraphAlgorithm) String() string {
 		return "nsw"
 	}
 	return "nndescent"
+}
+
+// Compression selects how sealed blocks store their vectors for search.
+type Compression int
+
+const (
+	// CompressionNone keeps sealed blocks fully float32 (the default).
+	CompressionNone Compression = iota
+	// CompressionSQ8 trains a per-block scalar quantizer at seal time and
+	// searches sealed blocks through 1-byte codes with an asymmetric
+	// distance kernel, then re-ranks the best candidates against the
+	// float32 store. ~4x less search-path memory traffic per block at a
+	// small recall cost that the re-rank largely recovers.
+	CompressionSQ8
+)
+
+// String returns the compression mode's name.
+func (c Compression) String() string {
+	if c == CompressionSQ8 {
+		return "sq8"
+	}
+	return "none"
+}
+
+func (c Compression) valid() bool { return c == CompressionNone || c == CompressionSQ8 }
+
+func (c Compression) internal() sq.Kind {
+	if c == CompressionSQ8 {
+		return sq.SQ8
+	}
+	return sq.None
 }
 
 // MBIOptions configures an MBI index. Zero values get sensible defaults
@@ -76,6 +108,19 @@ type MBIOptions struct {
 	AsyncMerge bool
 	// Seed makes index construction reproducible. Default 1.
 	Seed int64
+	// Compression selects per-block vector compression for sealed blocks.
+	// Default CompressionNone.
+	Compression Compression
+	// CompressMinHeight only compresses sealed blocks of at least this
+	// tree height, keeping small low blocks exact while the large
+	// high blocks — where the memory is — use codes. 0 compresses every
+	// sealed block. Ignored without Compression.
+	CompressMinHeight int
+	// RerankFactor is the compressed-block over-fetch multiplier: the
+	// approximate search keeps k·RerankFactor candidates for the exact
+	// re-rank. 0 uses the executor default (4). Ignored without
+	// Compression.
+	RerankFactor int
 }
 
 // ApplyDefaults fills unset fields with their defaults and validates the
@@ -111,6 +156,15 @@ func (o *MBIOptions) ApplyDefaults() error {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if !o.Compression.valid() {
+		return fmt.Errorf("tknn: invalid compression %d", o.Compression)
+	}
+	if o.CompressMinHeight < 0 {
+		return fmt.Errorf("tknn: CompressMinHeight must be non-negative, got %d", o.CompressMinHeight)
+	}
+	if o.RerankFactor < 0 {
+		return fmt.Errorf("tknn: RerankFactor must be non-negative, got %d", o.RerankFactor)
+	}
 	return nil
 }
 
@@ -131,16 +185,19 @@ func (o MBIOptions) coreOptions() (core.Options, error) {
 		return core.Options{}, err
 	}
 	return core.Options{
-		Dim:          o.Dim,
-		Metric:       o.Metric.internal(),
-		LeafSize:     o.LeafSize,
-		Tau:          o.Tau,
-		Builder:      b,
-		Search:       graph.SearchParams{MC: o.MaxCandidates, Eps: float32(o.Epsilon)},
-		Workers:      o.Workers,
-		QueryWorkers: o.QueryWorkers,
-		AsyncMerge:   o.AsyncMerge,
-		Seed:         o.Seed,
+		Dim:               o.Dim,
+		Metric:            o.Metric.internal(),
+		LeafSize:          o.LeafSize,
+		Tau:               o.Tau,
+		Builder:           b,
+		Search:            graph.SearchParams{MC: o.MaxCandidates, Eps: float32(o.Epsilon)},
+		Workers:           o.Workers,
+		QueryWorkers:      o.QueryWorkers,
+		AsyncMerge:        o.AsyncMerge,
+		Seed:              o.Seed,
+		Compression:       o.Compression.internal(),
+		CompressMinHeight: o.CompressMinHeight,
+		RerankFactor:      o.RerankFactor,
 	}, nil
 }
 

@@ -100,10 +100,15 @@ type SearchInfo struct {
 	Search time.Duration
 	// Merge is the final cross-block combine.
 	Merge time.Duration
+	// Rerank is the exact re-scoring of compressed-block candidates
+	// against the float32 store. It is contained in Search (re-ranking
+	// happens inside each compressed subtask) and is zero on
+	// uncompressed indexes.
+	Rerank time.Duration
 }
 
 func infoFrom(out exec.Outcome) SearchInfo {
-	return SearchInfo{Partial: out.Partial, Select: out.Select, Search: out.Search, Merge: out.Merge}
+	return SearchInfo{Partial: out.Partial, Select: out.Select, Search: out.Search, Merge: out.Merge, Rerank: out.Rerank}
 }
 
 // searchBatchCtx fans queries across workers with first-error-aborts
