@@ -6,11 +6,11 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/
+RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/ ./internal/fault/
 
-.PHONY: check fmt vet build test race lint invariants recover bench-exec bench-allocs bench-sq allocs-gate
+.PHONY: check fmt vet build test race lint invariants faults recover bench-exec bench-allocs bench-sq bench-chaos allocs-gate
 
-check: fmt vet build test race lint invariants recover
+check: fmt vet build test race lint invariants faults recover
 
 # The tknnlint corpus under cmd/tknnlint/testdata is lint-rule input, not
 # repository code; its formatting is frozen with its goldens.
@@ -41,6 +41,12 @@ lint:
 invariants:
 	$(GO) test -tags tknn_invariants ./...
 
+# Fault-injection build: the whole suite with the internal/fault hooks
+# compiled in (build tag tknn_fault), including the injected-failure WAL
+# recovery tests. Default builds compile the hooks out entirely.
+faults:
+	$(GO) test -tags tknn_fault ./...
+
 # Crash-recovery gate: the kill-at-random-offset and torn-tail tests with
 # fresh state (-count=1), then the whole WAL package under the race
 # detector.
@@ -65,6 +71,14 @@ bench-allocs:
 # drifting-cluster dataset. Writes BENCH_sq.json.
 bench-sq:
 	$(GO) run ./cmd/mbibench sq
+
+# Overload/chaos harness: open-loop insert+search traffic at multiples of
+# the measured capacity against the admission-controlled server, with the
+# deterministic fault schedule compiled in. Enforces the resilience gates
+# (shed with 429, no non-injected 5xx, bounded admitted p99, post-burst
+# recovery) and writes BENCH_chaos.json.
+bench-chaos:
+	$(GO) run -tags tknn_fault ./cmd/mbibench chaos
 
 # Allocation gate: a warmed-up sequential query on the Buf entry points
 # must perform zero heap allocations (testing.AllocsPerRun). CI runs this

@@ -27,7 +27,12 @@
 //	sq        SQ8 compression: bytes/vector, asymmetric-kernel scan
 //	          throughput, recall vs flat at rerank factors 1/2/4 on
 //	          drifting clusters (writes BENCH_sq.json)
-//	all       everything above, in order
+//	chaos     overload resilience: open-loop insert+search traffic at
+//	          multiples of capacity against the admission-controlled
+//	          server, with a deterministic fault schedule when built
+//	          with -tags tknn_fault (writes BENCH_chaos.json; gated)
+//	all       everything above, in order (chaos excluded: it enforces
+//	          hard gates and wants the tknn_fault build tag)
 //
 // Flags:
 //
@@ -144,6 +149,10 @@ func run(args []string) error {
 		}
 	case "sq":
 		if _, err := bench.SQExperiment(cfg, w, outPath("BENCH_sq.json")); err != nil {
+			return err
+		}
+	case "chaos":
+		if _, err := bench.ChaosExperiment(cfg, w, outPath("BENCH_chaos.json")); err != nil {
 			return err
 		}
 	case "all":

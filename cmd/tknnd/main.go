@@ -8,6 +8,7 @@
 //	POST /search            time-restricted kNN search
 //	GET  /stats             index shape
 //	GET  /healthz           liveness
+//	GET  /readyz            readiness: 503 during startup recovery and drain
 //	POST /admin/checkpoint  snapshot now and prune the WAL (durable mode)
 //
 // Durability. With -data-dir the daemon runs a write-ahead log: every
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -38,6 +40,22 @@ import (
 	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// holdingHandler answers probes while the daemon recovers its WAL:
+// liveness is green (the process is up and making progress), readiness —
+// and every API route — is 503 with a Retry-After so well-behaved
+// clients back off instead of erroring.
+func holdingHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "starting: recovery in progress", http.StatusServiceUnavailable)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -48,6 +66,9 @@ func main() {
 	degree := flag.Int("degree", 24, "per-block graph degree")
 	eps := flag.Float64("eps", 1.2, "search range-extension factor")
 	searchTimeout := flag.Duration("search-timeout", 0, "per-request search deadline; expired queries return partial results (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent /search (and, separately, /vectors) requests before queuing and 429s (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: queued requests beyond -max-inflight before shedding (0 = same as -max-inflight)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "bound on draining in-flight requests at shutdown; /readyz flips to 503 before the drain starts")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (durable mode)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync=interval")
@@ -79,6 +100,28 @@ func main() {
 	if *dataDir != "" && (*load != "" || *saveOnExit != "") {
 		log.Fatal("-data-dir already persists the index; drop -load/-save-on-exit")
 	}
+
+	// Bind the listener before recovery so load balancers can probe the
+	// daemon while it replays its WAL: /healthz answers 200 (the process
+	// is alive), everything else — /readyz included — answers 503 until
+	// the real handler is swapped in below.
+	// The box keeps the stored concrete type constant across the swap —
+	// atomic.Value rejects storing a different dynamic type.
+	type handlerBox struct{ h http.Handler }
+	var active atomic.Value
+	active.Store(handlerBox{holdingHandler()})
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			active.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	log.Printf("tknnd listening on %s (dim %d, %s, S_L %d); not ready until recovery completes", *addr, *dim, metric, *leaf)
 
 	var ix *tknn.MBI
 	var manager *wal.Manager
@@ -132,27 +175,27 @@ func main() {
 		handler = server.New(ix)
 	}
 	handler.SetSearchTimeout(*searchTimeout)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
+	if *maxInflight > 0 {
+		handler.SetLimits(server.Limits{MaxInflight: *maxInflight, MaxQueue: *maxQueue})
+		log.Printf("admission control: %d in-flight slots per class", *maxInflight)
 	}
+	// Recovery is done: swap the real handler in. /readyz flips to 200
+	// here and back to 503 the moment a drain begins.
+	active.Store(handlerBox{handler})
+	log.Printf("ready: serving %d vectors", ix.Len())
 
-	// Run the listener in a goroutine and shut down from the main one:
-	// Shutdown blocks until in-flight requests drain, so no insert can
+	// Shut down from the main goroutine: Shutdown blocks until in-flight
+	// requests drain (bounded by -shutdown-timeout), so no insert can
 	// race the final snapshot/seal below.
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- srv.ListenAndServe()
-	}()
-	log.Printf("tknnd listening on %s (dim %d, %s, S_L %d)", *addr, *dim, metric, *leaf)
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %s; draining connections", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Flip readiness first so load balancers stop routing new work,
+		// then drain what is already in flight.
+		handler.SetReady(false)
+		log.Printf("received %s; draining connections (bound %v)", s, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		err := srv.Shutdown(ctx)
 		cancel()
 		if err != nil {

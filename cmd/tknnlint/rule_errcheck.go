@@ -36,10 +36,14 @@ func uncheckedErrScope(rel string) bool {
 	// internal/sq is in scope because block codes flow into the persist
 	// codec: a swallowed encode error there ships a file whose compressed
 	// sections silently disagree with the vectors they stand for.
+	// internal/fault is in scope because the injection registry is what
+	// the chaos and recovery gates trust: a swallowed error in rule
+	// parsing or installation would make a fault schedule silently
+	// weaker than the test believes it is.
 	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" ||
 		rel == "internal/wal" || rel == "internal/exec" ||
 		rel == "internal/persist" || rel == "internal/client" ||
-		rel == "internal/sq"
+		rel == "internal/sq" || rel == "internal/fault"
 }
 
 func watchedErrPkg(path string) bool {

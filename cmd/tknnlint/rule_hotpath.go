@@ -22,8 +22,10 @@ import (
 //
 // directive, or when it is statically reachable from a hot function
 // through module-internal calls. Reachability is computed over the whole
-// module, skipping internal/invariant (debug-build-only code) and call
-// sites inside `if invariant.Enabled` guards (dead in default builds).
+// module, skipping the gated packages internal/invariant and
+// internal/fault (tag-build-only code) and call sites inside
+// `if invariant.Enabled` / `if fault.Enabled` guards (dead in default
+// builds).
 //
 // hotpath-alloc flags, inside hot functions:
 //
@@ -78,8 +80,8 @@ func (l *linter) hotSet() map[*types.Func]string {
 
 	var roots []*types.Func
 	for _, pkg := range l.mod.Pkgs {
-		if pkg.Rel == "internal/invariant" {
-			continue // debug-only code is off the hot path by construction
+		if pkg.Rel == "internal/invariant" || pkg.Rel == "internal/fault" {
+			continue // gated debug/chaos code is off the hot path by construction
 		}
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -187,7 +189,8 @@ func posInSpans(p token.Pos, spans []span) bool {
 	return false
 }
 
-// guardedSpans returns the body spans of `if invariant.Enabled` statements
+// guardedSpans returns the body spans of gated-Enabled if statements
+// (`if invariant.Enabled`, `if fault.Enabled`)
 // inside decl: code there is dead-code-eliminated in default builds, so
 // hot-path rules skip it.
 func guardedSpans(pkg *Package, decl *ast.FuncDecl) []span {

@@ -9,48 +9,63 @@ import (
 
 // Rule invariant-gate.
 //
-// internal/invariant compiles to no-ops in default builds, but only the
-// call is free — its arguments are not. `invariant.NoError(ix.Validate(),
-// ...)` at top level runs the full O(n) validator in every production
-// build even though the result is discarded. The repository's contract is
-// therefore that every call into the invariant package sits inside an
+// internal/invariant and internal/fault compile to no-ops in default
+// builds, but only the call is free — its arguments are not.
+// `invariant.NoError(ix.Validate(), ...)` at top level runs the full O(n)
+// validator in every production build even though the result is
+// discarded, and an unguarded `fault.Hit("wal.write")` pays a registry
+// lookup on every WAL append even with injection compiled out. The
+// repository's contract is therefore that every call into a gated package
+// sits inside an
 //
-//	if invariant.Enabled { ... }
+//	if invariant.Enabled { ... }   (resp. if fault.Enabled { ... })
 //
 // block: Enabled is a constant, so the whole guarded body — argument
-// evaluation included — is dead-code-eliminated when the tknn_invariants
-// tag is off. This rule flags invariant-package calls outside such a
-// guard.
+// evaluation included — is dead-code-eliminated when the package's build
+// tag is off. This rule flags gated-package calls outside a guard that
+// reads that same package's Enabled constant.
 //
 // The guard test is positional: a call is gated when it sits inside the
-// body of any if statement whose condition mentions the package's Enabled
-// constant. The invariant package itself is exempt (its helpers branch on
-// Enabled internally — that is where the fast path lives), and files
-// tagged tknn_invariants never reach the rule because the loader skips
-// files whose build constraints default-build excludes.
+// body of any if statement whose condition mentions the callee package's
+// Enabled constant. The gated packages themselves are exempt (their
+// helpers branch on Enabled internally — that is where the fast path
+// lives), and files tagged tknn_invariants/tknn_fault never reach the
+// rule because the loader skips files whose build constraints
+// default-build excludes.
 const ruleInvariant = "invariant-gate"
 
+// gatedPkgSuffixes are the module packages whose call sites must sit
+// behind their own `Enabled` constant.
+var gatedPkgSuffixes = []string{"internal/invariant", "internal/fault"}
+
 func (l *linter) checkInvariantGate(pkg *Package) {
-	if pkg.Rel == "internal/invariant" {
-		return
+	for _, s := range gatedPkgSuffixes {
+		if pkg.Rel == s {
+			return
+		}
 	}
 	for _, f := range pkg.Files {
-		// Guarded regions: bodies of ifs whose condition reads Enabled.
-		type span struct{ lo, hi token.Pos }
+		// Guarded regions: bodies of ifs whose condition reads a gated
+		// package's Enabled, keyed by that package's import path so an
+		// `if fault.Enabled` guard never vouches for an invariant call.
+		type span struct {
+			lo, hi token.Pos
+			path   string
+		}
 		var guarded []span
 		ast.Inspect(f, func(n ast.Node) bool {
 			ifs, ok := n.(*ast.IfStmt)
 			if !ok {
 				return true
 			}
-			if condReadsEnabled(pkg, ifs.Cond) {
-				guarded = append(guarded, span{ifs.Body.Pos(), ifs.Body.End()})
+			for _, path := range condEnabledPaths(pkg, ifs.Cond) {
+				guarded = append(guarded, span{ifs.Body.Pos(), ifs.Body.End(), path})
 			}
 			return true
 		})
-		inGuard := func(p token.Pos) bool {
+		inGuard := func(p token.Pos, path string) bool {
 			for _, s := range guarded {
-				if p >= s.lo && p < s.hi {
+				if s.path == path && p >= s.lo && p < s.hi {
 					return true
 				}
 			}
@@ -65,7 +80,7 @@ func (l *linter) checkInvariantGate(pkg *Package) {
 			if !ok {
 				return true
 			}
-			pkgName := invariantPkgIdent(pkg, sel.X)
+			pkgName, path := gatedPkgIdent(pkg, sel.X)
 			if pkgName == "" {
 				return true
 			}
@@ -74,7 +89,7 @@ func (l *linter) checkInvariantGate(pkg *Package) {
 			if _, ok := pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
 				return true
 			}
-			if inGuard(call.Pos()) {
+			if inGuard(call.Pos(), path) {
 				return true
 			}
 			l.report(call.Pos(), ruleInvariant,
@@ -85,38 +100,46 @@ func (l *linter) checkInvariantGate(pkg *Package) {
 	}
 }
 
-// condReadsEnabled reports whether the condition expression mentions the
-// invariant package's Enabled constant.
+// condReadsEnabled reports whether the condition expression mentions any
+// gated package's Enabled constant (the hot-path rules treat such bodies
+// as dead in default builds).
 func condReadsEnabled(pkg *Package, cond ast.Expr) bool {
-	found := false
+	return len(condEnabledPaths(pkg, cond)) > 0
+}
+
+// condEnabledPaths returns the import paths of the gated packages whose
+// Enabled constant the condition reads.
+func condEnabledPaths(pkg *Package, cond ast.Expr) []string {
+	var paths []string
 	ast.Inspect(cond, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok || sel.Sel.Name != "Enabled" {
 			return true
 		}
-		if invariantPkgIdent(pkg, sel.X) != "" {
-			found = true
-			return false
+		if name, path := gatedPkgIdent(pkg, sel.X); name != "" {
+			paths = append(paths, path)
 		}
 		return true
 	})
-	return found
+	return paths
 }
 
-// invariantPkgIdent resolves e to an imported package named by an
-// internal/invariant path and returns its local name ("" otherwise).
-func invariantPkgIdent(pkg *Package, e ast.Expr) string {
+// gatedPkgIdent resolves e to an imported package named by a gated-package
+// path, returning its local name and import path ("" when not gated).
+func gatedPkgIdent(pkg *Package, e ast.Expr) (string, string) {
 	id, ok := unparen(e).(*ast.Ident)
 	if !ok {
-		return ""
+		return "", ""
 	}
 	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
 	if !ok {
-		return ""
+		return "", ""
 	}
 	path := pn.Imported().Path()
-	if path == "internal/invariant" || strings.HasSuffix(path, "/internal/invariant") {
-		return id.Name
+	for _, s := range gatedPkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return id.Name, path
+		}
 	}
-	return ""
+	return "", ""
 }

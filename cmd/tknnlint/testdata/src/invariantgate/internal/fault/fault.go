@@ -1,0 +1,21 @@
+// Package fault mirrors the repository's injection registry: the second
+// gated package. Like internal/invariant, its helpers may mention
+// themselves (the !Enabled fast path lives here), but every call site
+// elsewhere must sit under an `if fault.Enabled` guard.
+package fault
+
+import "errors"
+
+// Enabled selects the injection build; the corpus pins it off.
+const Enabled = false
+
+// ErrInjected marks a deliberately injected failure.
+var ErrInjected = errors.New("injected fault")
+
+// Hit reports whether the named injection point should fail now.
+func Hit(point string) error {
+	if !Enabled {
+		return nil
+	}
+	return ErrInjected
+}

@@ -1,0 +1,45 @@
+// Package wired exercises the gate rule over the second gated package
+// (fault) and the cross-package guard cases: an `if fault.Enabled` block
+// gates fault calls only — it never vouches for an invariant call, and
+// vice versa.
+package wired
+
+import (
+	"lintcase/internal/fault"
+	"lintcase/internal/invariant"
+)
+
+// Append pays a registry lookup on every call in every build: the fault
+// call sits outside a guard. Firing case.
+func Append(rec []byte) error {
+	if err := fault.Hit("wal.write"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync guards correctly: Enabled is constant-false here, so the lookup
+// is eliminated from default builds. Clean case.
+func Sync() error {
+	if fault.Enabled {
+		if err := fault.Hit("wal.sync"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mixed nests the wrong guards: a fault guard cannot vouch for an
+// invariant call, nor an invariant guard for a fault call. Both firing
+// cases.
+func Mixed(n int) error {
+	if fault.Enabled {
+		invariant.Check(n >= 0, "wired: count non-negative")
+	}
+	if invariant.Enabled {
+		if err := fault.Hit("wired.mixed"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

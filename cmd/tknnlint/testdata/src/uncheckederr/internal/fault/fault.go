@@ -1,0 +1,16 @@
+// Package fault is the eighth unchecked-errors scope: the injection
+// registry is what the chaos and recovery gates trust, so a swallowed
+// error in schedule parsing or installation makes a fault schedule
+// silently weaker than the test believes.
+package fault
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// DumpSchedule serializes the active schedule to w.
+func DumpSchedule(w io.Writer, rules []string) {
+	json.NewEncoder(w).Encode(rules)     // discarded encode error: flagged
+	_ = json.NewEncoder(w).Encode(rules) // explicit discard: clean
+}

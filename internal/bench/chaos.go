@@ -1,0 +1,476 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tknn "repro"
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// Chaos experiment: overload-resilience of the serving stack. An
+// in-process tknnd handler (admission control + degraded mode + fault
+// injection) is driven with open-loop mixed insert+search traffic in
+// three phases — baseline at half the measured capacity, a burst at
+// several multiples of it, and a post-burst recovery — while a
+// deterministic fault schedule (build tag tknn_fault; `make bench-chaos`)
+// slows subtasks and injects tagged 500s. The report records goodput,
+// shed rate, and admitted-latency percentiles per phase, and the run
+// fails hard when the resilience gates are violated: an overloaded
+// server must shed with 429s rather than emit non-injected 5xx or let
+// admitted latency run away, and goodput must come back after the burst.
+
+// ChaosPhase is one measured traffic phase.
+type ChaosPhase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// OfferedQPS is the open-loop arrival rate the phase dispatched.
+	OfferedQPS float64 `json:"offered_qps"`
+	Offered    int64   `json:"offered"`
+	// Admitted counts 200s — searches (partial included) and inserts.
+	Admitted int64 `json:"admitted"`
+	// Shed counts 429s from admission control.
+	Shed int64 `json:"shed"`
+	// Injected5xx are deliberate failures (X-Tknn-Injected); Other5xx are
+	// genuine server errors and must stay zero.
+	Injected5xx int64 `json:"injected_5xx"`
+	Other5xx    int64 `json:"other_5xx"`
+	ClientErrs  int64 `json:"client_errors"`
+	// TransportErrs are connection-level failures (should stay zero in
+	// this in-process harness; not gated).
+	TransportErrs int64 `json:"transport_errors"`
+	// Degraded counts searches that ran under the shrunken deadline;
+	// Partial counts 200s whose results were cut short.
+	Degraded int64 `json:"degraded"`
+	Partial  int64 `json:"partial"`
+	// GoodputQPS is admitted responses per second; GoodputRatio divides
+	// by offered.
+	GoodputQPS   float64 `json:"goodput_qps"`
+	GoodputRatio float64 `json:"goodput_ratio"`
+	// P50Ms and P99Ms are admitted-request latency percentiles.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// ChaosReport is the full experiment output, serialized to
+// BENCH_chaos.json.
+type ChaosReport struct {
+	Dim         int  `json:"dim"`
+	TrainN      int  `json:"train_n"`
+	K           int  `json:"k"`
+	MaxInflight int  `json:"max_inflight"`
+	Injection   bool `json:"injection_enabled"`
+	// FaultSpec is the schedule driven through internal/fault (a no-op
+	// without the tknn_fault build tag).
+	FaultSpec string `json:"fault_spec"`
+	// CapacityQPS is the closed-loop service rate measured at MaxInflight
+	// concurrency before the phases run; offered rates are multiples.
+	CapacityQPS   float64      `json:"capacity_qps"`
+	BurstMultiple float64      `json:"burst_multiple"`
+	Phases        []ChaosPhase `json:"phases"`
+	// RecoverySeconds is the time from the start of the recovery phase to
+	// its first admitted response — how quickly service resumes once the
+	// burst stops.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	// Gates lists every violated resilience gate; empty means pass.
+	Gates []string `json:"gates_violated"`
+}
+
+const (
+	chaosK             = 10
+	chaosMaxInflight   = 2
+	chaosBurstMultiple = 4.0
+	chaosInsertEvery   = 10 // 1 insert per 10 operations
+	// chaosFaultSpec slows every search subtask by 2ms (which also makes
+	// the measured capacity honest about it) and injects a tagged 500 on
+	// roughly 1% of admitted searches.
+	chaosFaultSpec = "exec.subtask:latency=2ms;server.search:error:every=97"
+	// chaosOfferedCap bounds the dispatch rate so a fast host without
+	// injected latency cannot turn the burst into a fork bomb.
+	chaosOfferedCap = 3000.0
+)
+
+// ChaosExperiment runs the overload harness and enforces its gates: a
+// non-empty Gates list is returned as an error.
+func ChaosExperiment(c Config, w io.Writer, jsonPath string) (ChaosReport, error) {
+	dim := 32
+	trainN := int(20000 * c.Scale)
+	if trainN < 2000 {
+		trainN = 2000
+	}
+	baseDur, burstDur, recoverDur := 2*time.Second, 3*time.Second, 2*time.Second
+	if c.Scale < 0.5 {
+		baseDur, burstDur, recoverDur = 500*time.Millisecond, 900*time.Millisecond, 700*time.Millisecond
+	}
+
+	ix, err := tknn.NewMBI(tknn.MBIOptions{Dim: dim, LeafSize: 256, GraphDegree: 12})
+	if err != nil {
+		return ChaosReport{}, fmt.Errorf("chaos experiment: %w", err)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	vec := func() []float32 {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = rng.Float32()
+		}
+		return v
+	}
+	for i := 0; i < trainN; i++ {
+		if err := ix.Add(vec(), int64(i)); err != nil {
+			return ChaosReport{}, fmt.Errorf("chaos experiment: prefill: %w", err)
+		}
+	}
+
+	srv := server.New(ix)
+	srv.SetSearchTimeout(150 * time.Millisecond)
+	srv.SetLimits(server.Limits{MaxInflight: chaosMaxInflight, MaxQueue: chaosMaxInflight, MaxWait: 25 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The fault schedule is installed before capacity is measured so the
+	// baseline includes the injected subtask latency. Without the
+	// tknn_fault tag the hooks are compiled out and installing a schedule
+	// would be pointless, so the whole control plane sits under the guard.
+	if fault.Enabled {
+		if err := fault.Configure(chaosFaultSpec, c.Seed); err != nil {
+			return ChaosReport{}, fmt.Errorf("chaos experiment: %w", err)
+		}
+		// A deferred Reset is function-scoped even from inside the guard:
+		// the schedule is cleared however the experiment exits.
+		defer fault.Reset()
+	}
+
+	h := &chaosHarness{
+		url: ts.URL,
+		http: &http.Client{
+			Timeout:   5 * time.Second,
+			Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256},
+		},
+		dim: dim,
+	}
+	h.end.Store(int64(trainN))
+	h.queries = make([][]byte, 64)
+	for i := range h.queries {
+		body, merr := json.Marshal(server.SearchRequest{Vector: vec(), K: chaosK, Start: 0, End: int64(trainN + 1<<20)})
+		if merr != nil {
+			return ChaosReport{}, fmt.Errorf("chaos experiment: %w", merr)
+		}
+		h.queries[i] = body
+	}
+
+	capacity := h.measureCapacity(chaosMaxInflight, 400*time.Millisecond)
+	report := ChaosReport{
+		Dim: dim, TrainN: trainN, K: chaosK,
+		MaxInflight: chaosMaxInflight, Injection: fault.Enabled,
+		FaultSpec: chaosFaultSpec, CapacityQPS: capacity,
+		BurstMultiple: chaosBurstMultiple,
+	}
+
+	header(w, "Chaos experiment (overload resilience)",
+		fmt.Sprintf("n=%d, dim=%d, k=%d, max-inflight=%d, capacity≈%.0f qps, injection=%v",
+			trainN, dim, chaosK, chaosMaxInflight, capacity, fault.Enabled))
+	fmt.Fprintf(w, "%-9s %9s %8s %9s %6s %9s %9s %8s %9s %9s\n",
+		"phase", "offered", "admit", "shed", "inj", "other5xx", "degraded", "goodput", "p50", "p99")
+
+	rate := func(mult float64) float64 {
+		r := capacity * mult
+		if r > chaosOfferedCap {
+			r = chaosOfferedCap
+		}
+		if r < 10 {
+			r = 10
+		}
+		return r
+	}
+	phases := []struct {
+		name string
+		qps  float64
+		dur  time.Duration
+	}{
+		{"baseline", rate(0.5), baseDur},
+		{"burst", rate(chaosBurstMultiple), burstDur},
+		{"recovery", rate(0.5), recoverDur},
+	}
+	for _, p := range phases {
+		ph := h.runPhase(p.name, p.qps, p.dur)
+		report.Phases = append(report.Phases, ph)
+		if p.name == "recovery" {
+			report.RecoverySeconds = h.lastFirstSuccess
+		}
+		fmt.Fprintf(w, "%-9s %9d %8d %9d %6d %9d %9d %7.0f/s %8.1fms %8.1fms\n",
+			ph.Name, ph.Offered, ph.Admitted, ph.Shed, ph.Injected5xx, ph.Other5xx,
+			ph.Degraded, ph.GoodputQPS, ph.P50Ms, ph.P99Ms)
+	}
+
+	report.Gates = chaosGates(report)
+	if len(report.Gates) == 0 {
+		fmt.Fprintf(w, "\ngates: all passed\n")
+	} else {
+		for _, g := range report.Gates {
+			fmt.Fprintf(w, "\nGATE VIOLATED: %s", g)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if jsonPath != "" {
+		if err := writeChaosJSON(jsonPath, report); err != nil {
+			return report, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	if len(report.Gates) > 0 {
+		return report, fmt.Errorf("chaos experiment: %d gate(s) violated: %v", len(report.Gates), report.Gates)
+	}
+	return report, nil
+}
+
+// chaosGates evaluates the resilience gates against a finished run.
+func chaosGates(r ChaosReport) []string {
+	var violated []string
+	var burst, recovery *ChaosPhase
+	for i := range r.Phases {
+		p := &r.Phases[i]
+		// An overloaded server must never emit genuine 5xx — only tagged
+		// injected ones and 429s.
+		if p.Other5xx > 0 {
+			violated = append(violated, fmt.Sprintf("%s: %d non-injected 5xx (want 0)", p.Name, p.Other5xx))
+		}
+		// Admitted work must stay bounded even mid-burst.
+		if p.Admitted > 0 && p.P99Ms > 2000 {
+			violated = append(violated, fmt.Sprintf("%s: admitted p99 %.0fms exceeds 2000ms", p.Name, p.P99Ms))
+		}
+		switch p.Name {
+		case "burst":
+			burst = p
+		case "recovery":
+			recovery = p
+		}
+	}
+	// The shed and recovery gates describe genuine overload, which the
+	// harness only guarantees when the injected subtask latency is
+	// compiled in (make bench-chaos); an untagged run keeps the 5xx and
+	// latency gates.
+	if fault.Enabled {
+		if burst != nil && burst.Shed == 0 {
+			violated = append(violated, "burst: no requests shed with 429 at 4x capacity")
+		}
+		if recovery != nil && recovery.GoodputRatio < 0.6 {
+			violated = append(violated, fmt.Sprintf("recovery: goodput ratio %.2f below 0.6", recovery.GoodputRatio))
+		}
+		if recovery != nil && r.RecoverySeconds > recovery.Seconds/2 {
+			violated = append(violated, fmt.Sprintf("recovery: first admitted response took %.2fs", r.RecoverySeconds))
+		}
+	}
+	return violated
+}
+
+// chaosHarness drives one server with open-loop traffic.
+type chaosHarness struct {
+	url     string
+	http    *http.Client
+	queries [][]byte
+	dim     int
+	// end is the next insert timestamp; monotonically increasing across
+	// the whole run so appends never violate timestamp order.
+	end atomic.Int64
+	// lastFirstSuccess is the offset of the last finished phase's first
+	// admitted response, in seconds from phase start.
+	lastFirstSuccess float64
+}
+
+// measureCapacity runs closed-loop traffic at the admission concurrency
+// and returns the observed service rate in QPS.
+func (h *chaosHarness) measureCapacity(workers int, dur time.Duration) float64 {
+	var done atomic.Int64
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				st, _, _, _ := h.searchOnce(i)
+				if st == http.StatusOK {
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	qps := float64(done.Load()) / dur.Seconds()
+	if qps < 1 {
+		qps = 1
+	}
+	return qps
+}
+
+// searchOnce posts one pre-marshaled query, returning the status plus
+// the partial, degraded, and injected-failure markers.
+func (h *chaosHarness) searchOnce(i int) (status int, partial, degraded, injected bool) {
+	resp, err := h.http.Post(h.url+"/search", "application/json", bytes.NewReader(h.queries[i%len(h.queries)]))
+	if err != nil {
+		return 0, false, false, false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+	}()
+	degraded = resp.Header.Get("X-Tknn-Degraded") == "1"
+	injected = resp.Header.Get("X-Tknn-Injected") == "1"
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			Partial bool `json:"partial"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out)
+		partial = out.Partial
+	}
+	return resp.StatusCode, partial, degraded, injected
+}
+
+// insertOnce posts one vector with the next monotone timestamp.
+func (h *chaosHarness) insertOnce() (status int, injected bool) {
+	t := h.end.Add(1) - 1
+	v := make([]float32, h.dim)
+	for i := range v {
+		// Cheap deterministic pseudo-vector; content is irrelevant to the
+		// overload behavior under test.
+		v[i] = float32((int(t)+i)%97) / 97
+	}
+	body, err := json.Marshal(server.AddRequest{Vector: v, Time: &t})
+	if err != nil {
+		return 0, false
+	}
+	resp, rerr := h.http.Post(h.url+"/vectors", "application/json", bytes.NewReader(body))
+	if rerr != nil {
+		return 0, false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		_ = resp.Body.Close()
+	}()
+	return resp.StatusCode, resp.Header.Get("X-Tknn-Injected") == "1"
+}
+
+// runPhase dispatches open-loop traffic at qps for dur: arrivals are
+// scheduled on the clock regardless of how the server is doing, which is
+// what makes overload real instead of self-throttling.
+func (h *chaosHarness) runPhase(name string, qps float64, dur time.Duration) ChaosPhase {
+	interval := time.Duration(float64(time.Second) / qps)
+	var (
+		wg                                     sync.WaitGroup
+		admitted, shed, inj, other, cerr, terr atomic.Int64
+		degraded, partials, firstSuccessNs     atomic.Int64
+		mu                                     sync.Mutex
+		lats                                   []time.Duration
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	offered := int64(0)
+	next := start
+	for op := 0; ; op++ {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		offered++
+		wg.Add(1)
+		go func(op int) {
+			defer wg.Done()
+			opStart := time.Now()
+			var st int
+			var partial, degr, injected bool
+			if op%chaosInsertEvery == 0 {
+				st, injected = h.insertOnce()
+			} else {
+				st, partial, degr, injected = h.searchOnce(op)
+			}
+			el := time.Since(opStart)
+			switch {
+			case st == 0:
+				terr.Add(1)
+			case st == http.StatusOK:
+				admitted.Add(1)
+				firstSuccessNs.CompareAndSwap(0, time.Since(start).Nanoseconds())
+				mu.Lock()
+				lats = append(lats, el)
+				mu.Unlock()
+			case st == http.StatusTooManyRequests:
+				shed.Add(1)
+			case st >= 500:
+				// An injected failure carries the X-Tknn-Injected marker;
+				// classify it apart from genuine errors.
+				if injected {
+					inj.Add(1)
+				} else {
+					other.Add(1)
+				}
+			default:
+				cerr.Add(1)
+			}
+			if degr {
+				degraded.Add(1)
+			}
+			if partial {
+				partials.Add(1)
+			}
+		}(op)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	h.lastFirstSuccess = float64(firstSuccessNs.Load()) / 1e9
+
+	ph := ChaosPhase{
+		Name: name, Seconds: elapsed.Seconds(), OfferedQPS: qps,
+		Offered: offered, Admitted: admitted.Load(), Shed: shed.Load(),
+		Injected5xx: inj.Load(), Other5xx: other.Load(),
+		ClientErrs: cerr.Load(), TransportErrs: terr.Load(),
+		Degraded: degraded.Load(), Partial: partials.Load(),
+		P50Ms: pct(0.50), P99Ms: pct(0.99),
+	}
+	ph.GoodputQPS = float64(ph.Admitted) / elapsed.Seconds()
+	if offered > 0 {
+		ph.GoodputRatio = float64(ph.Admitted) / float64(offered)
+	}
+	return ph
+}
+
+func writeChaosJSON(path string, report ChaosReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("chaos experiment: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("chaos experiment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chaos experiment: %w", err)
+	}
+	return nil
+}

@@ -17,8 +17,9 @@ import (
 
 // Client talks to one tknnd instance.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *retrier
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8080").
@@ -29,54 +30,45 @@ func New(base string) *Client {
 	}
 }
 
+// NewWithRetry is New plus a retry policy: idempotent requests (Health,
+// Stats, Search) that fail with a transport error, 429, or 5xx are
+// retried with capped exponential backoff and full jitter, honoring any
+// Retry-After the server sends. Add, AddBatch, and Checkpoint are never
+// retried automatically.
+func NewWithRetry(base string, p RetryPolicy) *Client {
+	c := New(base)
+	c.retry = newRetrier(p)
+	return c
+}
+
 // Health reports whether the server answers its liveness check.
 func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: healthz returned %s", resp.Status)
-	}
-	return nil
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
 // Stats fetches the index shape.
 func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
 	var out server.StatsResponse
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
-	if err != nil {
-		return out, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return out, err
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return out, responseError(resp)
-	}
-	return out, json.NewDecoder(resp.Body).Decode(&out)
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &out, true)
+	return out, err
 }
 
-// Add inserts a single timestamped vector and returns its id.
+// Add inserts a single timestamped vector and returns its id. Inserts
+// are not idempotent and are never retried by the client: a request that
+// died mid-flight may have been applied.
 func (c *Client) Add(ctx context.Context, v []float32, t int64) (int, error) {
 	var out server.AddResponse
-	if err := c.post(ctx, "/vectors", server.AddRequest{Vector: v, Time: &t}, &out); err != nil {
+	if err := c.post(ctx, "/vectors", server.AddRequest{Vector: v, Time: &t}, &out, false); err != nil {
 		return 0, err
 	}
 	return out.ID, nil
 }
 
-// AddBatch inserts a batch and returns the assigned ids.
+// AddBatch inserts a batch and returns the assigned ids. Like Add, it is
+// never retried automatically.
 func (c *Client) AddBatch(ctx context.Context, batch []server.AddEntry) ([]int, error) {
 	var out server.AddResponse
-	if err := c.post(ctx, "/vectors", server.AddRequest{Batch: batch}, &out); err != nil {
+	if err := c.post(ctx, "/vectors", server.AddRequest{Batch: batch}, &out, false); err != nil {
 		return nil, err
 	}
 	if out.Count == 1 && len(out.IDs) == 0 {
@@ -89,7 +81,7 @@ func (c *Client) AddBatch(ctx context.Context, batch []server.AddEntry) ([]int, 
 // segments. It fails when the daemon runs without a data dir.
 func (c *Client) Checkpoint(ctx context.Context) (wal.CheckpointInfo, error) {
 	var out wal.CheckpointInfo
-	if err := c.post(ctx, "/admin/checkpoint", struct{}{}, &out); err != nil {
+	if err := c.post(ctx, "/admin/checkpoint", struct{}{}, &out, false); err != nil {
 		return wal.CheckpointInfo{}, err
 	}
 	return out, nil
@@ -110,23 +102,65 @@ func (c *Client) Search(ctx context.Context, v []float32, k int, start, end int6
 // results.
 func (c *Client) SearchDetailed(ctx context.Context, v []float32, k int, start, end int64) (server.SearchResponse, error) {
 	var out server.SearchResponse
-	err := c.post(ctx, "/search", server.SearchRequest{Vector: v, K: k, Start: start, End: end}, &out)
+	// A search reads and is safe to retry under the client's policy.
+	err := c.post(ctx, "/search", server.SearchRequest{Vector: v, K: k, Start: start, End: end}, &out, true)
 	if err != nil {
 		return server.SearchResponse{}, err
 	}
 	return out, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+// post marshals body once and sends it through the retry loop (replayed
+// verbatim on each attempt when idempotent).
+func (c *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	return c.do(ctx, http.MethodPost, path, raw, out, idempotent)
+}
+
+// do drives doOnce through the retry policy. Non-idempotent requests get
+// exactly one attempt regardless of policy; idempotent ones are retried
+// on retryable failures with full-jitter backoff, sleeping under the
+// caller's context.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent && c.retry != nil {
+		attempts = c.retry.policy.MaxAttempts
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if err := sleepCtx(ctx, c.retry.delay(i-1, last)); err != nil {
+				return fmt.Errorf("client: %w while backing off from: %v", err, last)
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return last
+}
+
+// doOnce is one HTTP round trip: build, send, decode.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -135,18 +169,26 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return responseError(resp)
 	}
+	if out == nil {
+		return nil
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// responseError surfaces the server's JSON error envelope.
+// responseError surfaces the server's JSON error envelope as a typed
+// *APIError carrying the status code and Retry-After hint.
 func responseError(resp *http.Response) error {
 	var eb struct {
 		Error string `json:"error"`
 	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
-		return fmt.Errorf("client: %s: %s", resp.Status, eb.Error)
+	apiErr := &APIError{
+		StatusCode: resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
-	return fmt.Errorf("client: %s", resp.Status)
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
+		apiErr.Msg = eb.Error
+	}
+	return apiErr
 }
 
 // drain discards and closes the body so the connection is reused. Both

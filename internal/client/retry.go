@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Retry policy: idempotent requests (search, stats, health, liveness) are
+// retried on transport errors, 429s, and 5xx responses with capped
+// exponential backoff and full jitter; a server-provided Retry-After
+// overrides the computed delay. Inserts are never blindly retried — a
+// request that died mid-flight may have been applied, and replaying it
+// would double-insert; the caller decides, with ids in hand.
+
+// APIError is a non-200 response from the server, carrying the status
+// code and any Retry-After hint so callers (and the retry loop) can react
+// to overload signals instead of string-matching.
+type APIError struct {
+	StatusCode int
+	Msg        string
+	// RetryAfter is the parsed Retry-After delay, zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("client: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Msg)
+	}
+	return fmt.Sprintf("client: %d %s", e.StatusCode, http.StatusText(e.StatusCode))
+}
+
+// RetryPolicy configures the client's backoff loop for idempotent
+// requests.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff scale for the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff scale (default 2s).
+	MaxDelay time.Duration
+	// Seed seeds the jitter source; 0 derives a seed from the clock.
+	// Fixing it makes a client's delay sequence reproducible.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// retrier owns the policy plus the seeded jitter source.
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	if p.MaxAttempts <= 1 {
+		return nil
+	}
+	p = p.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &retrier{policy: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay computes the sleep before retry number retry (0-based): full
+// jitter over an exponentially growing, capped window — unless the
+// server said when to come back, in which case that wins.
+func (r *retrier) delay(retry int, last error) time.Duration {
+	var apiErr *APIError
+	if errors.As(last, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	window := r.policy.BaseDelay
+	for i := 0; i < retry && window < r.policy.MaxDelay; i++ {
+		window *= 2
+	}
+	if window > r.policy.MaxDelay {
+		window = r.policy.MaxDelay
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(f * float64(window))
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether err is worth another attempt of an
+// idempotent request: overload (429), server-side failures (5xx), and
+// transport errors qualify; client errors and context expiry do not.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests || apiErr.StatusCode >= 500
+	}
+	// Anything else at this layer is a transport error; the request never
+	// produced a response, so retrying an idempotent call is safe.
+	return true
+}
+
+// parseRetryAfter reads a Retry-After header in its delay-seconds form
+// (the only form the server emits); 0 when absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

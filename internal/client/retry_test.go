@@ -1,0 +1,194 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 1}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Seed: 42})
+	// Full jitter: every draw for retry i lies in [0, min(MaxDelay, Base<<i)).
+	for retry := 0; retry < 10; retry++ {
+		window := 50 * time.Millisecond << retry
+		if window > 400*time.Millisecond {
+			window = 400 * time.Millisecond
+		}
+		for draw := 0; draw < 50; draw++ {
+			d := r.delay(retry, nil)
+			if d < 0 || d >= window {
+				t.Fatalf("retry %d draw %d: delay %v outside [0, %v)", retry, draw, d, window)
+			}
+		}
+	}
+}
+
+func TestBackoffSeededReproducible(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Seed: 7}
+	a, b := newRetrier(p), newRetrier(p)
+	for i := 0; i < 20; i++ {
+		da, db := a.delay(i%5, nil), b.delay(i%5, nil)
+		if da != db {
+			t.Fatalf("draw %d: %v != %v with identical seeds", i, da, db)
+		}
+	}
+}
+
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	r := newRetrier(testPolicy())
+	last := &APIError{StatusCode: http.StatusTooManyRequests, RetryAfter: 3 * time.Second}
+	if d := r.delay(0, last); d != 3*time.Second {
+		t.Fatalf("delay = %v, want the server's 3s Retry-After", d)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"1", time.Second}, {"30", 30 * time.Second}, {"-1", 0}, {"soon", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{&APIError{StatusCode: 429}, true},
+		{&APIError{StatusCode: 500}, true},
+		{&APIError{StatusCode: 503}, true},
+		{&APIError{StatusCode: 400}, false},
+		{&APIError{StatusCode: 404}, false},
+		{errors.New("dial tcp: connection refused"), true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+	} {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// flakyHandler fails the first n requests with status, then delegates.
+func flakyHandler(n int32, status int, then http.Handler) (http.Handler, *atomic.Int32) {
+	var count atomic.Int32
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if count.Add(1) <= n {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"injected"}`))
+			return
+		}
+		then.ServeHTTP(w, r)
+	}), &count
+}
+
+func okJSON(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	})
+}
+
+func TestSearchRetriesOn429ThenSucceeds(t *testing.T) {
+	h, count := flakyHandler(2, http.StatusTooManyRequests, okJSON(`{"results":[]}`))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewWithRetry(ts.URL, testPolicy())
+	if _, err := c.Search(context.Background(), []float32{1}, 1, 0, 10); err != nil {
+		t.Fatalf("search after retries: %v", err)
+	}
+	if got := count.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 shed + 1 ok)", got)
+	}
+}
+
+func TestSearchRetriesOn500(t *testing.T) {
+	h, count := flakyHandler(1, http.StatusInternalServerError, okJSON(`{"results":[]}`))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewWithRetry(ts.URL, testPolicy())
+	if _, err := c.Search(context.Background(), []float32{1}, 1, 0, 10); err != nil {
+		t.Fatalf("search after retry: %v", err)
+	}
+	if got := count.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestSearchGivesUpAfterMaxAttempts(t *testing.T) {
+	h, count := flakyHandler(1000, http.StatusServiceUnavailable, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewWithRetry(ts.URL, testPolicy())
+	_, err := c.Search(context.Background(), []float32{1}, 1, 0, 10)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := count.Load(); got != int32(testPolicy().MaxAttempts) {
+		t.Errorf("server saw %d requests, want MaxAttempts=%d", got, testPolicy().MaxAttempts)
+	}
+}
+
+func TestBadRequestNotRetried(t *testing.T) {
+	h, count := flakyHandler(1000, http.StatusBadRequest, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewWithRetry(ts.URL, testPolicy())
+	if _, err := c.Search(context.Background(), []float32{1}, 1, 0, 10); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := count.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (400 is not retryable)", got)
+	}
+}
+
+func TestAddNeverRetried(t *testing.T) {
+	h, count := flakyHandler(1000, http.StatusInternalServerError, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewWithRetry(ts.URL, testPolicy())
+	if _, err := c.Add(context.Background(), []float32{1}, 0); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := c.AddBatch(context.Background(), nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := count.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2 (one per call, no retries)", got)
+	}
+}
+
+func TestCancelDuringBackoffSleep(t *testing.T) {
+	h, _ := flakyHandler(1000, http.StatusInternalServerError, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	// A long backoff window: the context fires mid-sleep and the call
+	// returns promptly with the context error, not after the full delay.
+	c := NewWithRetry(ts.URL, RetryPolicy{MaxAttempts: 3, BaseDelay: 30 * time.Second, MaxDelay: time.Minute, Seed: 9})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Search(ctx, []float32{1}, 1, 0, 10)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("returned after %v; should abort the sleep when ctx fires", d)
+	}
+}

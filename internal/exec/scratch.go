@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/invariant"
 	"repro/internal/theap"
@@ -109,6 +110,15 @@ func (s *Scratch) ensureWorkers(w int) {
 // runOne executes subtask i on worker slot, recording its timing and
 // result list.
 func (s *Scratch) runOne(ctx context.Context, p *Plan, i, slot int, results []SubtaskResult, lists [][]theap.Neighbor) {
+	if fault.Enabled {
+		// Injection point exec.subtask: a failed or slow subtask. Returning
+		// before the kernel runs leaves results[i].Skipped true, so the
+		// executor reports the query Partial — the same degradation path a
+		// deadline exercises.
+		if err := fault.Hit("exec.subtask"); err != nil {
+			return
+		}
+	}
 	start := time.Now()
 	lists[i] = s.runSubtask(ctx, p, i, slot)
 	r := &results[i]

@@ -1,0 +1,9 @@
+//go:build !tknn_fault
+
+package fault
+
+// Enabled reports whether fault injection is compiled in. Default builds
+// have it off: every `if fault.Enabled { ... }` block is dead code the
+// compiler deletes, so injection points cost nothing on the hot path and
+// the zero-allocs/query gates are unaffected.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build tknn_fault
+
+package fault
+
+// Enabled reports whether fault injection is compiled in. This build
+// (tag tknn_fault) has it on: configured rules fire at their injection
+// points on the schedule they declare.
+const Enabled = true

@@ -1,0 +1,417 @@
+// Package fault is the repository's deterministic fault-injection layer:
+// named injection points compiled into the I/O and query paths (the WAL's
+// write/fsync calls, the persist codec's reads and writes, the executor's
+// per-subtask dispatch, the server's handlers) that can return errors, add
+// latency, or truncate writes on a reproducible schedule. It exists so the
+// durability and overload claims elsewhere in this repository can be
+// tested without killing processes: a recovery test injects an fsync error
+// mid-append and asserts replay still converges; the chaos harness fires a
+// latency schedule under 4x load and asserts overload sheds instead of
+// collapsing.
+//
+// Enabled is a build-tag-selected constant mirroring internal/invariant:
+// false by default, true under `-tags tknn_fault`. Every call site must be
+// guarded so default builds delete the whole check — injection points cost
+// zero on the hot path and the allocation gates are unaffected:
+//
+//	if fault.Enabled {
+//		if err := fault.Hit("wal.sync"); err != nil {
+//			return err
+//		}
+//	}
+//
+// Points are named `<package>.<operation>` (see DESIGN.md for the wired
+// set). Rules attach to points either programmatically (Set) or through a
+// compact spec string (Configure):
+//
+//	wal.sync:error:after=100:count=1;exec.subtask:latency=2ms:every=7
+//
+// Schedules are deterministic: a counter rule fires on an exact arithmetic
+// progression of that rule's hit count (after/every/count), so a test that
+// replays the same operations sees the same faults. Probabilistic rules
+// (prob=) draw from a PRNG seeded by Configure and are reproducible given
+// the same hit order; under concurrency the order is the scheduler's, so
+// tests that need exact replay use counter rules.
+//
+// A misspelled point name is not an error — the rule simply never fires —
+// but Snapshot exposes per-point hit and fire counts, so harnesses assert
+// their schedule actually ran.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps. Handlers that
+// must distinguish an injected failure from a real one (the server tags
+// injected 5xx responses so the chaos harness can exclude them from its
+// zero-unexplained-5xx gate) test with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Kind is what a firing rule does.
+type Kind int
+
+const (
+	// Error returns an ErrInjected-wrapped error from the point.
+	Error Kind = iota
+	// Latency sleeps for the rule's Delay, then lets the operation
+	// proceed.
+	Latency
+	// Truncate applies only to write-shaped points (Cut): the write
+	// persists at most Keep bytes and then fails with an injected error,
+	// modeling a torn write at the moment the disk gave out.
+	Truncate
+)
+
+// String returns the kind's spec-string name.
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	default:
+		return "error"
+	}
+}
+
+// Rule schedules one fault at one point. The zero schedule (After, Every,
+// Count, Prob all zero) fires on every hit.
+type Rule struct {
+	// Point is the injection point the rule attaches to.
+	Point string
+	// Kind is the fault to inject.
+	Kind Kind
+	// After skips the first After hits of this rule.
+	After uint64
+	// Every fires on every Every-th eligible hit (1 = each one). 0 means 1.
+	Every uint64
+	// Count caps the number of fires; 0 is unlimited.
+	Count uint64
+	// Prob, when positive, gates each eligible hit on a seeded coin flip
+	// instead of the every-counter. Counter and probability rules compose:
+	// After/Count still apply.
+	Prob float64
+	// Delay is the sleep of a Latency rule.
+	Delay time.Duration
+	// Keep is the surviving byte count of a Truncate rule.
+	Keep int
+}
+
+// rule is an installed Rule plus its mutable schedule state.
+type rule struct {
+	Rule
+	hits  atomic.Uint64
+	fires atomic.Uint64
+
+	// rng backs Prob draws; guarded by mu because hits race.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// fires reports whether this hit (1-based h within the rule) fires.
+func (r *rule) shouldFire(h uint64) bool {
+	if h <= r.After {
+		return false
+	}
+	if r.Count > 0 && r.fires.Load() >= r.Count {
+		return false
+	}
+	if r.Prob > 0 {
+		r.mu.Lock()
+		ok := r.rng.Float64() < r.Prob
+		r.mu.Unlock()
+		if !ok {
+			return false
+		}
+	} else {
+		every := r.Every
+		if every == 0 {
+			every = 1
+		}
+		if (h-r.After-1)%every != 0 {
+			return false
+		}
+	}
+	r.fires.Add(1)
+	return true
+}
+
+func (r *rule) err() error {
+	return fmt.Errorf("fault: %s at %s (hit %d): %w", r.Kind, r.Point, r.hits.Load(), ErrInjected)
+}
+
+// registry is an immutable rule set; Configure/Set/Reset swap the whole
+// pointer so the hit path reads without locks.
+type registry struct {
+	points map[string][]*rule
+}
+
+var current atomic.Pointer[registry]
+
+// regMu serializes registry mutations (the swap itself is atomic; the
+// read-modify-write of Set is not).
+var regMu sync.Mutex
+
+// Set installs one rule, keeping existing rules (several rules may attach
+// to one point: a latency rule and an error rule compose).
+func Set(r Rule, seed int64) error {
+	if r.Point == "" {
+		return errors.New("fault: rule has no point")
+	}
+	if r.Kind == Latency && r.Delay <= 0 {
+		return fmt.Errorf("fault: latency rule at %s has no delay", r.Point)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: rule at %s has probability %g outside [0,1]", r.Point, r.Prob)
+	}
+	if r.Keep < 0 {
+		return fmt.Errorf("fault: truncate rule at %s keeps negative bytes", r.Point)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	old := current.Load()
+	next := &registry{points: map[string][]*rule{}}
+	if old != nil {
+		for p, rs := range old.points {
+			next.points[p] = rs
+		}
+	}
+	in := &rule{Rule: r}
+	in.rng = rand.New(rand.NewSource(seed ^ int64(len(next.points[r.Point])+1)))
+	next.points[r.Point] = append(append([]*rule(nil), next.points[r.Point]...), in)
+	current.Store(next)
+	return nil
+}
+
+// Reset removes every rule and clears all schedule state.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	current.Store(nil)
+}
+
+// Configure resets the registry and installs the rules of spec, a
+// semicolon-separated list of colon-separated rules:
+//
+//	point:kind[:k=v]...
+//
+// where kind is `error`, `latency=<duration>`, or `truncate=<keep-bytes>`,
+// and the optional settings are `after=<n>`, `every=<n>`, `count=<n>`,
+// and `prob=<p>`. seed makes probabilistic rules reproducible.
+func Configure(spec string, seed int64) error {
+	// Parse everything first so a bad spec never half-installs.
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r, err := parseRule(rs)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, r)
+	}
+	Reset()
+	for _, r := range rules {
+		if err := Set(r, seed); err != nil {
+			Reset()
+			return err
+		}
+	}
+	return nil
+}
+
+func parseRule(s string) (Rule, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 {
+		return Rule{}, fmt.Errorf("fault: rule %q needs at least point:kind", s)
+	}
+	r := Rule{Point: fields[0]}
+	kindSet := false
+	for _, f := range fields[1:] {
+		key, val, hasVal := strings.Cut(f, "=")
+		switch key {
+		case "error":
+			r.Kind, kindSet = Error, true
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil || !hasVal {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad latency %q", s, val)
+			}
+			r.Kind, r.Delay, kindSet = Latency, d, true
+		case "truncate":
+			n, err := strconv.Atoi(val)
+			if err != nil || !hasVal {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad truncate %q", s, val)
+			}
+			r.Kind, r.Keep, kindSet = Truncate, n, true
+		case "after", "every", "count":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || !hasVal {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad %s %q", s, key, val)
+			}
+			switch key {
+			case "after":
+				r.After = n
+			case "every":
+				r.Every = n
+			case "count":
+				r.Count = n
+			}
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || !hasVal {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad prob %q", s, val)
+			}
+			r.Prob = p
+		default:
+			return Rule{}, fmt.Errorf("fault: rule %q: unknown directive %q", s, f)
+		}
+	}
+	if !kindSet {
+		return Rule{}, fmt.Errorf("fault: rule %q has no kind (error, latency=, or truncate=)", s)
+	}
+	return r, nil
+}
+
+// Hit records one pass through the named point. A firing latency rule
+// sleeps; a firing error (or truncate — from a read-shaped point the
+// distinction is moot) rule returns its injected error. With no rules
+// configured it is a pointer load and a map lookup.
+func Hit(point string) error {
+	reg := current.Load()
+	if reg == nil {
+		return nil
+	}
+	var failed *rule
+	for _, r := range reg.points[point] {
+		h := r.hits.Add(1)
+		if !r.shouldFire(h) {
+			continue
+		}
+		if r.Kind == Latency {
+			time.Sleep(r.Delay)
+			continue
+		}
+		if failed == nil {
+			failed = r
+		}
+	}
+	if failed != nil {
+		return failed.err()
+	}
+	return nil
+}
+
+// Cut is Hit for write-shaped points: the caller is about to write n
+// bytes, and the returned keep says how many of them actually to write
+// before returning the returned error. keep == n with a nil error means
+// the write proceeds untouched; a firing Error rule fails the write
+// before any byte (keep 0); a firing Truncate rule models a torn write —
+// min(Keep, n) bytes land, then the error.
+func Cut(point string, n int) (keep int, err error) {
+	reg := current.Load()
+	if reg == nil {
+		return n, nil
+	}
+	keep = n
+	var failed *rule
+	for _, r := range reg.points[point] {
+		h := r.hits.Add(1)
+		if !r.shouldFire(h) {
+			continue
+		}
+		switch r.Kind {
+		case Latency:
+			time.Sleep(r.Delay)
+		case Truncate:
+			if failed == nil {
+				failed = r
+				if r.Keep < keep {
+					keep = r.Keep
+				}
+			}
+		default:
+			if failed == nil {
+				failed = r
+				keep = 0
+			}
+		}
+	}
+	if failed != nil {
+		return keep, failed.err()
+	}
+	return n, nil
+}
+
+// PointStats aggregates one point's schedule state.
+type PointStats struct {
+	// Point is the injection-point name.
+	Point string
+	// Hits counts passes through the point (summed over its rules).
+	Hits uint64
+	// Fires counts injected faults (errors, sleeps, truncations).
+	Fires uint64
+}
+
+// Snapshot returns per-point hit/fire counts for every point with at
+// least one rule, sorted by name.
+func Snapshot() []PointStats {
+	reg := current.Load()
+	if reg == nil {
+		return nil
+	}
+	out := make([]PointStats, 0, len(reg.points))
+	for p, rs := range reg.points {
+		st := PointStats{Point: p}
+		for _, r := range rs {
+			// A point with several rules counts each rule's hits; divide
+			// mentally by the rule count if you need per-operation hits.
+			st.Hits += r.hits.Load()
+			st.Fires += r.fires.Load()
+		}
+		out = append(out, st)
+	}
+	sortStats(out)
+	return out
+}
+
+// TotalFires sums injected faults across every rule — the counter the
+// server's metrics endpoint exposes in fault-enabled builds.
+func TotalFires() uint64 {
+	reg := current.Load()
+	if reg == nil {
+		return 0
+	}
+	var n uint64
+	for _, rs := range reg.points {
+		for _, r := range rs {
+			n += r.fires.Load()
+		}
+	}
+	return n
+}
+
+// Active reports whether any rule is installed — cheap enough for a
+// handler to decide whether to consult Snapshot.
+func Active() bool {
+	reg := current.Load()
+	return reg != nil && len(reg.points) > 0
+}
+
+func sortStats(s []PointStats) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Point < s[j-1].Point; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The registry machinery is compiled in every build (only the Enabled
+// constant and the guarded call sites differ), so these tests run in the
+// default suite too.
+
+func TestCounterSchedule(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("p:error:after=2:every=3:count=2", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Hits 1..2 skipped (after), then fire on 3, 6 and stop (count=2).
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := Hit("p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	st := Snapshot()
+	if len(st) != 1 || st[0].Point != "p" || st[0].Hits != 12 || st[0].Fires != 2 {
+		t.Errorf("snapshot %+v", st)
+	}
+	if TotalFires() != 2 {
+		t.Errorf("TotalFires = %d", TotalFires())
+	}
+}
+
+func TestEveryHitByDefault(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("p:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); err == nil {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+}
+
+func TestUnknownPointNeverFires(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("p:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unconfigured point fired: %v", err)
+	}
+}
+
+func TestCutTruncates(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("w:truncate=5:after=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if keep, err := Cut("w", 100); keep != 100 || err != nil {
+		t.Fatalf("first write touched: keep=%d err=%v", keep, err)
+	}
+	keep, err := Cut("w", 100)
+	if keep != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: keep=%d err=%v, want torn at 5", keep, err)
+	}
+	// Truncation never grows a write.
+	if keep, _ := Cut("w", 3); keep > 3 {
+		t.Fatalf("truncate grew a 3-byte write to %d", keep)
+	}
+}
+
+func TestCutErrorKeepsNothing(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("w:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if keep, err := Cut("w", 64); keep != 0 || err == nil {
+		t.Fatalf("error rule: keep=%d err=%v", keep, err)
+	}
+}
+
+func TestLatencyRuleSleeps(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("p:latency=20ms:count=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("latency rule returned an error: %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("slept %v, want >= 20ms", el)
+	}
+	// Count exhausted: no sleep.
+	start = time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Errorf("exhausted rule still slept %v", el)
+	}
+}
+
+func TestProbReproducible(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		t.Helper()
+		if err := Configure("p:error:prob=0.3", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	t.Cleanup(Reset)
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("prob=0.3 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestConfigureRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"p",                  // no kind
+		"p:after=3",          // settings but no kind
+		"p:latency",          // latency without duration
+		"p:latency=xyz",      // bad duration
+		"p:truncate=no",      // bad byte count
+		"p:error:prob=1.5",   // probability out of range
+		"p:error:bogus=1",    // unknown directive
+		"p:error:after=-1",   // negative counter
+		":error",             // empty point
+		"p:error:every=zero", // bad counter
+	} {
+		if err := Configure(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	// A rejected Configure leaves the registry empty, not half-installed.
+	if Active() {
+		t.Error("failed Configure left rules installed")
+	}
+}
+
+func TestMultipleRulesCompose(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("p:latency=5ms:count=1;p:error:after=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("first hit should only sleep: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("latency rule did not sleep")
+	}
+	if err := Hit("p"); err == nil {
+		t.Fatal("error rule did not fire on the second hit")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	if err := Configure("p:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("rule survived Reset: %v", err)
+	}
+	if Active() || Snapshot() != nil || TotalFires() != 0 {
+		t.Error("state survived Reset")
+	}
+}

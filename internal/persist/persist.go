@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/sf"
 	"repro/internal/sq"
@@ -56,6 +57,16 @@ type crcWriter struct {
 }
 
 func (c *crcWriter) Write(p []byte) (int, error) {
+	if fault.Enabled {
+		// Injection point persist.write: every snapshot byte funnels
+		// through this writer, so an Error/Truncate rule models a disk
+		// that gave out mid-serialization.
+		if keep, ferr := fault.Cut("persist.write", len(p)); ferr != nil {
+			n, _ := c.w.Write(p[:keep])
+			c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+			return n, ferr
+		}
+	}
 	n, err := c.w.Write(p)
 	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
 	return n, err
@@ -70,6 +81,14 @@ type crcReader struct {
 }
 
 func (c *crcReader) Read(p []byte) (int, error) {
+	if fault.Enabled {
+		// Injection point persist.read: a failed read while restoring a
+		// snapshot — the WAL manager must fall back to an older
+		// checkpoint (or the full log) instead of dying.
+		if err := fault.Hit("persist.read"); err != nil {
+			return 0, err
+		}
+	}
 	n, err := c.r.Read(p)
 	c.sum = crc32.Update(c.sum, castagnoli, p[:n])
 	return n, err

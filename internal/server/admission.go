@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: every /search and /vectors request must claim one of
+// a bounded number of in-flight slots before any work happens. A request
+// that finds all slots busy may queue briefly — bounded both in headcount
+// and in wall-clock — and is otherwise shed with 429 + Retry-After, which
+// keeps an overloaded daemon answering quickly instead of accumulating
+// goroutines until latency collapses. Queuing is also the degrade signal:
+// a search that had to wait runs under a shrunken deadline so the partial
+// -results machinery sheds work instead of time.
+
+// errOverloaded marks a request shed by admission control; the handler
+// maps it to 429 Too Many Requests.
+var errOverloaded = errors.New("overloaded: in-flight limit and wait queue full")
+
+// Limits configures admission control for one request class.
+type Limits struct {
+	// MaxInflight is the number of requests of this class allowed to
+	// execute concurrently. <= 0 disables admission control entirely.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for a slot beyond
+	// MaxInflight before new arrivals are shed. Defaults to MaxInflight.
+	MaxQueue int
+	// MaxWait bounds how long a queued request waits for a slot before it
+	// is shed. Defaults to 100ms — long enough to ride out a burst one
+	// queue-depth deep, short enough that shed responses stay snappy.
+	MaxWait time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxQueue <= 0 {
+		l.MaxQueue = l.MaxInflight
+	}
+	if l.MaxWait <= 0 {
+		l.MaxWait = 100 * time.Millisecond
+	}
+	return l
+}
+
+// limiter is a channel semaphore with a bounded, deadline-aware wait
+// queue. The zero-cost fast path is one non-blocking channel send.
+type limiter struct {
+	slots    chan struct{}
+	waiters  atomic.Int64
+	inflight atomic.Int64
+	maxQueue int64
+	maxWait  time.Duration
+}
+
+func newLimiter(l Limits) *limiter {
+	if l.MaxInflight <= 0 {
+		return nil
+	}
+	l = l.withDefaults()
+	return &limiter{
+		slots:    make(chan struct{}, l.MaxInflight),
+		maxQueue: int64(l.MaxQueue),
+		maxWait:  l.MaxWait,
+	}
+}
+
+// acquire claims a slot, queuing up to maxWait when none is free. waited
+// reports that the request had to queue — the caller's degrade signal.
+// The error is errOverloaded when the queue is full or the wait timed
+// out, or ctx.Err() when the client gave up first.
+func (l *limiter) acquire(ctx context.Context) (waited bool, err error) {
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return false, nil
+	default:
+	}
+	if l.waiters.Add(1) > l.maxQueue {
+		l.waiters.Add(-1)
+		return false, errOverloaded
+	}
+	defer l.waiters.Add(-1)
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		l.inflight.Add(1)
+		return true, nil
+	case <-t.C:
+		return false, errOverloaded
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (l *limiter) release() {
+	l.inflight.Add(-1)
+	<-l.slots
+}
+
+// Inflight reports requests currently holding a slot.
+func (l *limiter) Inflight() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.inflight.Load()
+}
+
+// SetLimits installs admission control on the /search and /vectors
+// handlers; each class gets its own slot pool sized by l. Call before
+// serving. A zero MaxInflight leaves the server unlimited (the default).
+func (s *Server) SetLimits(l Limits) {
+	s.searchLim = newLimiter(l)
+	s.insertLim = newLimiter(l)
+}
+
+// admit claims a slot from lim on behalf of a request, writing the shed
+// or cancellation response itself when admission fails. ok reports the
+// request may proceed (and must release); waited is the degrade signal.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, lim *limiter, shed *atomic.Int64) (waited, ok bool) {
+	if lim == nil {
+		return false, true
+	}
+	waited, err := lim.acquire(r.Context())
+	if err == nil {
+		return waited, true
+	}
+	if errors.Is(err, errOverloaded) {
+		shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, err)
+		return false, false
+	}
+	// The client disconnected while queued: nothing to retry, nothing shed.
+	s.error(w, statusClientClosedRequest, fmt.Errorf("canceled while queued: %w", err))
+	return false, false
+}
+
+// Degraded-mode deadlines: a search that had to queue for its slot runs
+// under a fraction of the configured -search-timeout so that, under
+// pressure, the executor's partial-results machinery trades result
+// completeness for bounded latency instead of queue depth.
+const (
+	// degradedDiv shrinks the configured search timeout under pressure.
+	degradedDiv = 4
+	// minDegradedTimeout floors the shrunken deadline so degraded queries
+	// still do useful work.
+	minDegradedTimeout = 5 * time.Millisecond
+	// defaultDegradedTimeout applies when no -search-timeout is set but
+	// the server is degrading: even an uncapped deployment sheds work
+	// under pressure.
+	defaultDegradedTimeout = 100 * time.Millisecond
+)
+
+// degradedTimeout is the search deadline for a query that had to queue.
+func (s *Server) degradedTimeout() time.Duration {
+	if s.searchTimeout <= 0 {
+		return defaultDegradedTimeout
+	}
+	d := s.searchTimeout / degradedDiv
+	if d < minDegradedTimeout {
+		d = minDegradedTimeout
+	}
+	return d
+}
+
+// SetReady flips the /readyz state: tknnd holds it false until startup
+// recovery completes and flips it back to false when a drain begins, so
+// load balancers stop routing before in-flight requests are cut off.
+// /healthz is liveness and stays 200 throughout.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

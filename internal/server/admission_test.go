@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLimiterFastPathQueueAndShed(t *testing.T) {
+	l := newLimiter(Limits{MaxInflight: 2, MaxQueue: 1, MaxWait: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		waited, err := l.acquire(ctx)
+		if err != nil || waited {
+			t.Fatalf("acquire %d: waited=%v err=%v", i, waited, err)
+		}
+	}
+	if got := l.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Slots are full: a queued request gets the slot a release frees, and
+	// reports that it waited.
+	done := make(chan error, 1)
+	var waited bool
+	go func() {
+		var err error
+		waited, err = l.acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if !waited {
+		t.Error("queued acquire did not report waited")
+	}
+
+	// Queue full beyond MaxQueue: immediate shed.
+	blocker := make(chan error, 1)
+	go func() { _, err := l.acquire(ctx); blocker <- err }()
+	time.Sleep(5 * time.Millisecond) // let the waiter enqueue
+	if _, err := l.acquire(ctx); !errors.Is(err, errOverloaded) {
+		t.Fatalf("over-queue acquire err = %v, want errOverloaded", err)
+	}
+	l.release()
+	if err := <-blocker; err != nil {
+		t.Fatalf("blocked acquire: %v", err)
+	}
+	l.release()
+	l.release()
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+}
+
+func TestLimiterWaitTimeout(t *testing.T) {
+	l := newLimiter(Limits{MaxInflight: 1, MaxQueue: 4, MaxWait: 20 * time.Millisecond})
+	if _, err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := l.acquire(context.Background())
+	if !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("shed after %v, want >= MaxWait", d)
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := newLimiter(Limits{MaxInflight: 1, MaxQueue: 4, MaxWait: time.Minute})
+	if _, err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := l.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchShed429(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetLimits(Limits{MaxInflight: 1, MaxQueue: 1, MaxWait: 5 * time.Millisecond})
+
+	// Occupy the only slot so the HTTP request must queue, time out, and
+	// be shed with 429 + Retry-After.
+	if _, err := s.searchLim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/search", SearchRequest{Vector: []float32{1, 0, 0, 0}, K: 1, End: 10})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if got := s.metrics.shedSearches.Load(); got != 1 {
+		t.Errorf("shedSearches = %d, want 1", got)
+	}
+
+	// Slot freed: the same request is admitted again.
+	s.searchLim.release()
+	resp, body = postJSON(t, ts.URL+"/search", SearchRequest{Vector: []float32{1, 0, 0, 0}, K: 1, End: 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+func TestInsertShed429(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetLimits(Limits{MaxInflight: 1, MaxQueue: 1, MaxWait: 5 * time.Millisecond})
+	if _, err := s.insertLim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tm := int64(0)
+	resp, body := postJSON(t, ts.URL+"/vectors", AddRequest{Vector: []float32{1, 0, 0, 0}, Time: &tm})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := s.metrics.shedInserts.Load(); got != 1 {
+		t.Errorf("shedInserts = %d, want 1", got)
+	}
+	s.insertLim.release()
+}
+
+func TestDegradedSearchAfterQueue(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetLimits(Limits{MaxInflight: 1, MaxQueue: 2, MaxWait: time.Second})
+	tm := int64(0)
+	if resp, body := postJSON(t, ts.URL+"/vectors", AddRequest{Vector: []float32{1, 0, 0, 0}, Time: &tm}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d %s", resp.StatusCode, body)
+	}
+
+	// Hold the slot briefly so the query queues, then runs degraded.
+	if _, err := s.searchLim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.searchLim.release()
+	}()
+	resp, body := postJSON(t, ts.URL+"/search", SearchRequest{Vector: []float32{1, 0, 0, 0}, K: 1, End: 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s), want 200", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Tknn-Degraded") != "1" {
+		t.Error("queued search missing X-Tknn-Degraded marker")
+	}
+	if got := s.metrics.degraded.Load(); got != 1 {
+		t.Errorf("degraded = %d, want 1", got)
+	}
+}
+
+func TestDegradedTimeoutShrinks(t *testing.T) {
+	s := &Server{}
+	s.SetSearchTimeout(400 * time.Millisecond)
+	if got := s.degradedTimeout(); got != 100*time.Millisecond {
+		t.Errorf("degraded timeout = %v, want 100ms", got)
+	}
+	s.SetSearchTimeout(1 * time.Millisecond)
+	if got := s.degradedTimeout(); got != minDegradedTimeout {
+		t.Errorf("degraded timeout = %v, want floor %v", got, minDegradedTimeout)
+	}
+	s.SetSearchTimeout(0)
+	if got := s.degradedTimeout(); got != defaultDegradedTimeout {
+		t.Errorf("degraded timeout = %v, want default %v", got, defaultDegradedTimeout)
+	}
+}
+
+func TestReadyzFlips(t *testing.T) {
+	s, ts := newTestServer(t)
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+	s.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after SetReady(false) = %d, want 503", got)
+	}
+	// Liveness is unaffected by readiness.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	s.SetReady(true)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz restored = %d, want 200", got)
+	}
+}
+
+func TestMetricsExposeAdmission(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetLimits(Limits{MaxInflight: 2})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		`tknn_inflight{op="search"} 0`,
+		`tknn_inflight{op="insert"} 0`,
+		`tknn_shed_total{op="search"} 0`,
+		`tknn_shed_total{op="insert"} 0`,
+		"tknn_degraded_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -17,6 +17,9 @@ type metrics struct {
 	searches       atomic.Int64 // /search requests answered OK
 	searchPartials atomic.Int64 // searches cut short by cancel/timeout
 	clientErrors   atomic.Int64 // 4xx responses
+	shedSearches   atomic.Int64 // searches rejected 429 by admission control
+	shedInserts    atomic.Int64 // inserts rejected 429 by admission control
+	degraded       atomic.Int64 // searches run under a shrunken deadline
 	searchLatency  histogram
 	insertLatency  histogram
 	// Per-stage search breakdown, exposed as one histogram family with a
@@ -108,6 +111,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tknn_client_errors_total 4xx responses.\n")
 	fmt.Fprintf(w, "# TYPE tknn_client_errors_total counter\n")
 	fmt.Fprintf(w, "tknn_client_errors_total %d\n", m.clientErrors.Load())
+	fmt.Fprintf(w, "# HELP tknn_inflight Requests currently holding an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE tknn_inflight gauge\n")
+	fmt.Fprintf(w, "tknn_inflight{op=\"search\"} %d\n", s.searchLim.Inflight())
+	fmt.Fprintf(w, "tknn_inflight{op=\"insert\"} %d\n", s.insertLim.Inflight())
+	fmt.Fprintf(w, "# HELP tknn_shed_total Requests rejected 429 by admission control.\n")
+	fmt.Fprintf(w, "# TYPE tknn_shed_total counter\n")
+	fmt.Fprintf(w, "tknn_shed_total{op=\"search\"} %d\n", m.shedSearches.Load())
+	fmt.Fprintf(w, "tknn_shed_total{op=\"insert\"} %d\n", m.shedInserts.Load())
+	fmt.Fprintf(w, "# HELP tknn_degraded_total Searches run under the shrunken degraded-mode deadline.\n")
+	fmt.Fprintf(w, "# TYPE tknn_degraded_total counter\n")
+	fmt.Fprintf(w, "tknn_degraded_total %d\n", m.degraded.Load())
 	fmt.Fprintf(w, "# HELP tknn_search_partials_total Searches cut short by cancellation or -search-timeout.\n")
 	fmt.Fprintf(w, "# TYPE tknn_search_partials_total counter\n")
 	fmt.Fprintf(w, "tknn_search_partials_total %d\n", m.searchPartials.Load())

@@ -11,7 +11,8 @@
 //	POST /search    {"vector": [...], "k": 10,
 //	                 "start": 0, "end": 1000}               -> {"results": [...]}
 //	GET  /stats                                             -> index shape
-//	GET  /healthz                                           -> 200 ok
+//	GET  /healthz                                           -> 200 ok (liveness)
+//	GET  /readyz                                            -> 200/503 (readiness)
 //	POST /admin/checkpoint                                  -> snapshot now
 //	                (404 unless the daemon runs with a WAL data dir)
 package server
@@ -23,9 +24,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	tknn "repro"
+	"repro/internal/fault"
 	"repro/internal/wal"
 )
 
@@ -47,6 +50,14 @@ type Server struct {
 	// on expiry the executor returns what it has, tagged partial. Set
 	// before serving.
 	searchTimeout time.Duration
+	// searchLim/insertLim, when set, gate the corresponding handler behind
+	// bounded in-flight slots with a short wait queue (see SetLimits); nil
+	// means unlimited.
+	searchLim *limiter
+	insertLim *limiter
+	// ready is the /readyz state: true while the daemon should receive
+	// traffic, false during startup recovery and shutdown drain.
+	ready atomic.Bool
 }
 
 // New wraps an index in a Server.
@@ -56,8 +67,10 @@ func New(ix *tknn.MBI) *Server {
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	s.ready.Store(true)
 	return s
 }
 
@@ -107,6 +120,20 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
+	}
+	if _, ok := s.admit(w, r, s.insertLim, &s.metrics.shedInserts); !ok {
+		return
+	} else if s.insertLim != nil {
+		defer s.insertLim.release()
+	}
+	if fault.Enabled {
+		// Injection point server.insert: the request was admitted but the
+		// handler fails before touching the index — the client-visible
+		// shape of a crash between accept and apply.
+		if err := fault.Hit("server.insert"); err != nil {
+			s.error(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	var req AddRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -233,6 +260,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	waited, ok := s.admit(w, r, s.searchLim, &s.metrics.shedSearches)
+	if !ok {
+		return
+	}
+	if s.searchLim != nil {
+		defer s.searchLim.release()
+	}
+	if fault.Enabled {
+		// Injection point server.search: an admitted query that fails
+		// before execution. The chaos harness tells these from genuine
+		// failures by the X-Tknn-Injected marker s.error attaches.
+		if err := fault.Hit("server.search"); err != nil {
+			s.error(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.error(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
@@ -240,11 +283,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context flows into the executor: an aborted connection
 	// or an expired -search-timeout stops launching per-block subtasks and
-	// the response carries whatever completed, tagged partial.
+	// the response carries whatever completed, tagged partial. A query
+	// that had to queue for its admission slot runs degraded — a shrunken
+	// deadline that trades completeness for bounded latency.
 	ctx := r.Context()
-	if s.searchTimeout > 0 {
+	timeout := s.searchTimeout
+	if waited {
+		s.metrics.degraded.Add(1)
+		w.Header().Set("X-Tknn-Degraded", "1")
+		timeout = s.degradedTimeout()
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.searchTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	start := time.Now()
@@ -338,8 +389,15 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// error is httpError plus client-error accounting.
+// error is httpError plus client-error accounting. In fault-injection
+// builds, injected failures are tagged with an X-Tknn-Injected header so
+// load harnesses can separate deliberate errors from genuine ones.
 func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	if fault.Enabled {
+		if errors.Is(err, fault.ErrInjected) {
+			w.Header().Set("X-Tknn-Injected", "1")
+		}
+	}
 	if status >= 400 && status < 500 {
 		s.metrics.clientErrors.Add(1)
 	}

@@ -1,0 +1,232 @@
+//go:build tknn_fault
+
+package wal_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	tknn "repro"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// Fault-injection recovery tests (build tag tknn_fault): disk failures
+// injected mid-append and mid-checkpoint must never corrupt the log —
+// every acknowledged insert survives a reopen, and unacknowledged ones
+// may at most surface as extras, never as torn or reordered state.
+
+func faultEnv(t *testing.T) (wal.Config, tknn.MBIOptions, [][]float32) {
+	t.Helper()
+	t.Cleanup(fault.Reset)
+	fault.Reset()
+	cfg := wal.Config{Dir: t.TempDir(), Sync: wal.SyncNever, SegmentBytes: 1 << 12}
+	opts := tknn.MBIOptions{Dim: mbiDim, LeafSize: 16}
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([][]float32, 120)
+	for i := range vecs {
+		vecs[i] = mbiVec(rng)
+	}
+	return cfg, opts, vecs
+}
+
+func mustConfigure(t *testing.T, spec string) {
+	t.Helper()
+	if err := fault.Configure(spec, 1); err != nil {
+		t.Fatalf("Configure(%q): %v", spec, err)
+	}
+}
+
+func reopenLen(t *testing.T, cfg wal.Config, opts tknn.MBIOptions) int {
+	t.Helper()
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m.Close()
+	return m.Index().(*tknn.MBI).Len()
+}
+
+func TestInjectedWriteErrorMidAppend(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const acked = 40
+	for i := 0; i < acked; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// The next record's write fails outright: the append must error and
+	// must not be applied to the index.
+	mustConfigure(t, "wal.write:error:count=1")
+	if err := m.Append(vecs[acked], int64(acked)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under injection: err = %v, want ErrInjected", err)
+	}
+	if got := m.Index().(*tknn.MBI).Len(); got != acked {
+		t.Fatalf("failed append applied: index has %d vectors, want %d", got, acked)
+	}
+	_ = m.Close() // the manager is poisoned; sealing may itself error
+	fault.Reset()
+	if got := reopenLen(t, cfg, opts); got != acked {
+		t.Fatalf("recovered %d vectors, want %d", got, acked)
+	}
+}
+
+func TestInjectedTornWriteMidAppend(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const acked = 30
+	for i := 0; i < acked; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// A short write: 10 bytes of the record land on disk, then the disk
+	// dies. Recovery must truncate the torn tail, not choke on it.
+	mustConfigure(t, "wal.write:truncate=10:count=1")
+	if err := m.Append(vecs[acked], int64(acked)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under injection: err = %v, want ErrInjected", err)
+	}
+	_ = m.Close()
+	fault.Reset()
+	if got := reopenLen(t, cfg, opts); got != acked {
+		t.Fatalf("recovered %d vectors, want %d (torn tail must be dropped)", got, acked)
+	}
+}
+
+func TestInjectedFsyncErrorMidAppend(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	cfg.Sync = wal.SyncAlways
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const acked = 20
+	for i := 0; i < acked; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	mustConfigure(t, "wal.sync:error:count=1")
+	if err := m.Append(vecs[acked], int64(acked)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under injection: err = %v, want ErrInjected", err)
+	}
+	_ = m.Close()
+	fault.Reset()
+	// The record's bytes were written before the fsync failed, so the
+	// unacknowledged insert may legitimately surface on replay — but the
+	// log must stay readable and every acknowledged insert must be there.
+	got := reopenLen(t, cfg, opts)
+	if got < acked || got > acked+1 {
+		t.Fatalf("recovered %d vectors, want %d or %d", got, acked, acked+1)
+	}
+}
+
+func TestInjectedCheckpointFailureKeepsOldState(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const half, total = 50, 100
+	for i := 0; i < half; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("first checkpoint: %v", err)
+	}
+	for i := half; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// The second snapshot fails mid-write; the first one must remain the
+	// newest durable state and the log must still cover the gap.
+	mustConfigure(t, "wal.checkpoint:error:count=1")
+	if _, err := m.Checkpoint(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("checkpoint under injection: err = %v, want ErrInjected", err)
+	}
+	// Appends continue after a failed checkpoint — it is not a poisoning
+	// event.
+	if err := m.Append(vecs[0], int64(total)); err != nil {
+		t.Fatalf("append after failed checkpoint: %v", err)
+	}
+	_ = m.Close()
+	fault.Reset()
+	if got := reopenLen(t, cfg, opts); got != total+1 {
+		t.Fatalf("recovered %d vectors, want %d", got, total+1)
+	}
+}
+
+func TestInjectedPersistWriteFailureDuringCheckpoint(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const total = 60
+	for i := 0; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// Fail deep inside snapshot serialization (the CRC writer), past the
+	// header: the torn temp file must be discarded, not renamed in.
+	mustConfigure(t, "persist.write:error:after=2:count=1")
+	if _, err := m.Checkpoint(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("checkpoint under injection: err = %v, want ErrInjected", err)
+	}
+	fault.Reset()
+	// A later checkpoint succeeds and the reopened state is complete.
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after injection cleared: %v", err)
+	}
+	_ = m.Close()
+	if got := reopenLen(t, cfg, opts); got != total {
+		t.Fatalf("recovered %d vectors, want %d", got, total)
+	}
+}
+
+func TestInjectedSnapshotReadFallsBackToOlderCheckpoint(t *testing.T) {
+	cfg, opts, vecs := faultEnv(t)
+	m, err := wal.Open(cfg, mbiRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const half, total = 40, 80
+	for i := 0; i < half; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("first checkpoint: %v", err)
+	}
+	for i := half; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The newest snapshot's first read fails; recovery must fall back to
+	// the retained older snapshot plus a longer replay and still arrive
+	// at the full acknowledged state.
+	mustConfigure(t, "persist.read:error:count=1")
+	if got := reopenLen(t, cfg, opts); got != total {
+		t.Fatalf("recovered %d vectors via fallback, want %d", got, total)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/invariant"
 )
 
@@ -523,6 +524,14 @@ func writeSnapshot(dir, path string, target Target) (int64, error) {
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		return 0, err
+	}
+	if fault.Enabled {
+		// Injection point wal.checkpoint: a failed snapshot serialization.
+		// The temp file is discarded and the previous checkpoint stays the
+		// newest — recovery must still work from it plus a longer replay.
+		if err := fault.Hit("wal.checkpoint"); err != nil {
+			return cleanup(err)
+		}
 	}
 	if err := target.Save(f); err != nil {
 		return cleanup(err)

@@ -41,6 +41,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // SyncPolicy controls when the log fsyncs.
@@ -292,6 +294,22 @@ func openSegmentForAppend(seg segmentFile) (*segmentWriter, error) {
 
 // write appends raw framed-record bytes.
 func (w *segmentWriter) write(rec []byte) error {
+	if fault.Enabled {
+		// Injection point wal.write: an Error rule fails the write before
+		// any byte lands; a Truncate rule models a torn write — the kept
+		// prefix reaches the file (sizes update so recovery sees exactly
+		// what a real torn tail leaves) and the injected error surfaces.
+		if keep, ferr := fault.Cut("wal.write", len(rec)); ferr != nil {
+			if keep > 0 {
+				n, _ := w.f.Write(rec[:keep])
+				if n > 0 {
+					w.size += int64(n)
+					w.dirty = true
+				}
+			}
+			return ferr
+		}
+	}
 	if _, err := w.f.Write(rec); err != nil {
 		return err
 	}
@@ -305,6 +323,14 @@ func (w *segmentWriter) write(rec []byte) error {
 func (w *segmentWriter) sync() (bool, error) {
 	if !w.dirty {
 		return false, nil
+	}
+	if fault.Enabled {
+		// Injection point wal.sync: a failed fsync before the syscall —
+		// the bytes may or may not be durable, which is exactly the state
+		// a real fsync failure leaves.
+		if err := fault.Hit("wal.sync"); err != nil {
+			return false, err
+		}
 	}
 	if err := w.f.Sync(); err != nil {
 		return false, err
