@@ -8,7 +8,7 @@ GO ?= go
 # so it runs here and nowhere else.
 RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/ ./internal/fault/
 
-.PHONY: check fmt vet build test race lint invariants faults recover bench-exec bench-allocs bench-sq bench-chaos allocs-gate
+.PHONY: check fmt vet build test race lint lockgraph invariants faults recover bench-exec bench-allocs bench-sq bench-chaos allocs-gate
 
 check: fmt vet build test race lint invariants faults recover
 
@@ -34,6 +34,12 @@ race:
 
 lint:
 	$(GO) run ./cmd/tknnlint ./...
+
+# Module-wide lock-order graph (Graphviz). Render with
+# `dot -Tsvg lockorder.dot -o lockorder.svg`; the lock-order lint rule
+# fails `make lint` if this graph ever acquires a cycle.
+lockgraph:
+	$(GO) run ./cmd/tknnlint -lockgraph ./... > lockorder.dot
 
 # Deep-validation build: the whole suite with runtime invariant assertions
 # compiled in (internal/invariant), including the differential oracle

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The module-internal static call graph, built once per lint run and
+// shared by every interprocedural rule: hotpath-alloc's reachability BFS,
+// guarded-by's entry-held-lock propagation, and lock-order's
+// acquire-while-holding edges. Before this existed each rule walked the
+// module on its own; now there is exactly one construction pass.
+//
+// Nodes are the *types.Func objects of every function and method declared
+// with a body anywhere in the module (gated packages included — each
+// consumer decides which nodes to skip). Edges are statically resolved
+// call sites: direct calls and method calls whose callee go/types can
+// name. Calls through function values, interfaces, and closures resolve
+// to nothing and produce no edge — every consumer of the graph must stay
+// conservative about that blind spot.
+
+// callEdge is one static call site inside a declaration's body.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+	// gated marks sites inside an `if invariant.Enabled` / `if
+	// fault.Enabled` body: dead in default builds.
+	gated bool
+	// inClosure marks sites inside a nested function literal. Rules that
+	// treat closures as separate analysis units (guarded-by, lock-order)
+	// skip these when propagating caller state; hotpath reachability
+	// follows them, because a closure launched by a hot function runs on
+	// the hot path.
+	inClosure bool
+}
+
+// moduleGraph indexes every declared function and its outgoing static
+// calls.
+type moduleGraph struct {
+	decls map[*types.Func]declSite
+	edges map[*types.Func][]callEdge
+	// declOrder lists the functions in deterministic declaration order
+	// (package load order, then file, then position) so fixed-point
+	// passes and reports are stable run to run.
+	declOrder []*types.Func
+}
+
+// graph lazily builds the module call graph.
+func (l *linter) graph() *moduleGraph {
+	if l.mg != nil {
+		return l.mg
+	}
+	mg := &moduleGraph{
+		decls: map[*types.Func]declSite{},
+		edges: map[*types.Func][]callEdge{},
+	}
+	for _, pkg := range l.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				mg.decls[fn] = declSite{pkg: pkg, decl: fd}
+				mg.declOrder = append(mg.declOrder, fn)
+			}
+		}
+	}
+	for _, fn := range mg.declOrder {
+		site := mg.decls[fn]
+		guards := guardedSpans(site.pkg, site.decl)
+		closures := closureSpans(site.decl)
+		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(site.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, known := mg.decls[callee]; !known {
+				return true // outside the module: std lib or bodyless
+			}
+			mg.edges[fn] = append(mg.edges[fn], callEdge{
+				callee:    callee,
+				pos:       call.Pos(),
+				gated:     posInSpans(call.Pos(), guards),
+				inClosure: posInSpans(call.Pos(), closures),
+			})
+			return true
+		})
+	}
+	l.mg = mg
+	return mg
+}
+
+// closureSpans returns the position ranges of every function literal in
+// the declaration body.
+func closureSpans(decl *ast.FuncDecl) []span {
+	var out []span
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, span{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// callersOf inverts the edge map: for each function, the (caller, edge)
+// pairs that reach it. Closure-hosted and gated edges are filtered by the
+// keep predicate.
+func (mg *moduleGraph) callersOf(keep func(callEdge) bool) map[*types.Func][]callerSite {
+	out := map[*types.Func][]callerSite{}
+	for _, caller := range mg.declOrder {
+		for _, e := range mg.edges[caller] {
+			if keep != nil && !keep(e) {
+				continue
+			}
+			out[e.callee] = append(out[e.callee], callerSite{caller: caller, pos: e.pos})
+		}
+	}
+	return out
+}
+
+// callerSite is one inbound call: who calls, and from where.
+type callerSite struct {
+	caller *types.Func
+	pos    token.Pos
+}

@@ -43,6 +43,9 @@ var ruleCatalog = []struct{ Name, Doc string }{
 	{ruleHotAlloc, "functions marked //tknn:hotpath, and everything statically reachable from them, must not allocate per query: no make/new, slice/map/&T{} literals, growing appends, local-map writes, string conversions, escaping closures, defer-in-loop, or interface boxing"},
 	{ruleCtx, "query-path packages take context.Context as the first parameter, *Context functions accept one, functions holding a context never mint context.Background/TODO, and no struct stores a context"},
 	{ruleScratch, "hot-path functions holding a *Scratch must draw per-query buffers from it rather than calling New*/Get* constructors"},
+	{ruleGuarded, "every access to a field annotated //tknn:guardedBy(mu) must statically hold the named mutex, verified interprocedurally over the module call graph; writes under only RLock are flagged separately, and malformed or misplaced directives are errors"},
+	{ruleLockOrder, "mutex acquisitions while another mutex is held form a module-wide lock-ordering graph; any cycle in it is a potential deadlock and is reported at a witness acquisition site"},
+	{ruleTaint, "internal/persist and internal/wal must not let a value decoded from reader bytes (binary.Read, ByteOrder.Uint*, read-helper outputs) size a make, io.CopyN, or slice bound without an intervening bound check"},
 }
 
 // linter runs the rule set over a module and accumulates diagnostics.
@@ -50,10 +53,18 @@ type linter struct {
 	mod   *Module
 	diags []Diagnostic
 
-	// hot caches the //tknn:hotpath transitive closure (see rule_hotpath.go);
-	// decls indexes every function declaration in the module for it.
-	hot   map[*types.Func]string
-	decls map[*types.Func]declSite
+	// mg caches the shared module call graph (callgraph.go); hot caches
+	// the //tknn:hotpath transitive closure computed over it
+	// (rule_hotpath.go).
+	mg  *moduleGraph
+	hot map[*types.Func]string
+
+	// guards caches the //tknn:guardedBy annotation index plus the
+	// interprocedural entry-held-lock sets (rule_guardedby.go); lockOrder
+	// marks that the module-wide lock-order pass already ran
+	// (rule_lockorder.go).
+	guards       *guardIndex
+	lockOrderRan bool
 }
 
 // Lint type-checks nothing itself — it walks the already-loaded module and
@@ -76,6 +87,9 @@ func Lint(mod *Module, match func(*Package) bool) []Diagnostic {
 		l.checkHotpathAlloc(pkg)
 		l.checkCtxDiscipline(pkg)
 		l.checkScratchReuse(pkg)
+		l.checkGuardedBy(pkg)
+		l.checkLockOrder(pkg)
+		l.checkUntrustedSize(pkg)
 	}
 	diags := markSuppressed(mod, l.diags)
 	sort.Slice(diags, func(i, j int) bool {

@@ -82,7 +82,10 @@ func TestCaseShape(t *testing.T) {
 	}{
 		{dir: "float32kernel", rule: ruleFloat32, minHits: 5},
 		{dir: "globalrand", rule: ruleRand, minHits: 4},
-		{dir: "lockdiscipline", rule: ruleLock, minHits: 3},
+		{dir: "lockdiscipline", rule: ruleLock, minHits: 4},
+		{dir: "guardedby", rule: ruleGuarded, minHits: 11},
+		{dir: "lockorder", rule: ruleLockOrder, minHits: 2},
+		{dir: "untrustedsize", rule: ruleTaint, minHits: 4},
 		{dir: "uncheckederr", rule: ruleErr, minHits: 4},
 		{dir: "copylock", rule: ruleCopylock, minHits: 4},
 		{dir: "goroutineleak", rule: ruleGoroutine, minHits: 3},
@@ -125,6 +128,9 @@ func TestSuppression(t *testing.T) {
 		{dir: "float32kernel", file: "internal/vec/vec.go", banned: "vec.go:50", present: "internal/vec/vec.go:14"},
 		{dir: "globalrand", file: "internal/sampler/sampler.go", banned: "Float32", present: "Intn"},
 		{dir: "lockdiscipline", file: "internal/reg/reg.go", banned: "Reset", present: "Peek"},
+		{dir: "guardedby", file: "internal/reg/reg.go", banned: "reg.go:149", present: "reg.go:49"},
+		{dir: "lockorder", file: "internal/ord/ord.go", banned: "ord.U", present: "ord.S"},
+		{dir: "untrustedsize", file: "internal/persist/load.go", banned: "load.go:84", present: "load.go:23"},
 		{dir: "uncheckederr", file: "cmd/tool/main.go", banned: "also-ignored", present: "Remove"},
 		{dir: "copylock", file: "internal/pool/pool.go", banned: "Snapshot", present: "Reset"},
 		{dir: "goroutineleak", file: "internal/worker/worker.go", banned: "daemonLoop", present: "spin"},
@@ -240,6 +246,151 @@ func TestJSONSuppressionStatus(t *testing.T) {
 	if activeN == 0 || suppressedN == 0 {
 		t.Errorf("want both active and suppressed findings in JSON, got %d active / %d suppressed:\n%s",
 			activeN, suppressedN, stdout.String())
+	}
+}
+
+// TestGuardDirectiveArgs pins the directive grammar: the accepted forms
+// and each malformed shape's rejection. Resolution errors (unknown mutex,
+// non-mutex target, directive on a method or var) are covered by the
+// guardedby golden corpus.
+func TestGuardDirectiveArgs(t *testing.T) {
+	cases := []struct {
+		text    string
+		names   []string
+		wantErr bool
+	}{
+		{text: "//tknn:guardedBy(mu)", names: []string{"mu"}},
+		{text: "//tknn:guardedBy(mu, statsMu)", names: []string{"mu", "statsMu"}},
+		{text: "//tknn:guardedBy(mu,statsMu,cpMu)", names: []string{"mu", "statsMu", "cpMu"}},
+		{text: "//tknn:guardedBy", wantErr: true},
+		{text: "//tknn:guardedBy()", wantErr: true},
+		{text: "//tknn:guardedBy(mu", wantErr: true},
+		{text: "//tknn:guardedBy(,)", wantErr: true},
+		{text: "//tknn:guardedBy mu", wantErr: true},
+	}
+	for _, c := range cases {
+		names, errMsg := parseGuardArgs(c.text)
+		if c.wantErr {
+			if errMsg == "" {
+				t.Errorf("parseGuardArgs(%q): want error, got names %v", c.text, names)
+			}
+			continue
+		}
+		if errMsg != "" {
+			t.Errorf("parseGuardArgs(%q): unexpected error %q", c.text, errMsg)
+			continue
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("parseGuardArgs(%q) = %v, want %v", c.text, names, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("parseGuardArgs(%q)[%d] = %q, want %q", c.text, i, names[i], c.names[i])
+			}
+		}
+	}
+}
+
+// TestSARIFOutput drives -sarif against the guardedby corpus: valid
+// SARIF 2.1.0, one result per diagnostic (suppressed included, marked
+// with an inSource suppression), exit code still 1 on active findings.
+func TestSARIFOutput(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := os.Chdir(filepath.Join("testdata", "src", "guardedby")); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("corpus with active findings: want exit 1, got %d (stderr: %s)", code, stderr.String())
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "tknnlint" {
+		t.Fatalf("want one run driven by tknnlint, got %+v", doc.Runs)
+	}
+	if len(doc.Runs[0].Tool.Driver.Rules) != len(ruleCatalog) {
+		t.Errorf("driver.rules has %d entries, want %d", len(doc.Runs[0].Tool.Driver.Rules), len(ruleCatalog))
+	}
+	activeN, suppressedN := 0, 0
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID != ruleGuarded {
+			t.Errorf("unexpected ruleId %q", r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+			t.Errorf("result missing physical location: %+v", r)
+		}
+		if len(r.Suppressions) > 0 {
+			if r.Suppressions[0].Kind != "inSource" {
+				t.Errorf("suppression kind = %q, want inSource", r.Suppressions[0].Kind)
+			}
+			suppressedN++
+		} else {
+			activeN++
+		}
+	}
+	if activeN == 0 || suppressedN == 0 {
+		t.Errorf("want both active and suppressed results, got %d active / %d suppressed", activeN, suppressedN)
+	}
+	if code := run([]string{"-sarif", "-json", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-sarif with -json: want exit 2, got %d", code)
+	}
+}
+
+// TestLockGraphDOT drives -lockgraph against the lockorder corpus and
+// pins the DOT shape: deterministic digraph with the expected edges.
+func TestLockGraphDOT(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := os.Chdir(filepath.Join("testdata", "src", "lockorder")); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-lockgraph", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-lockgraph: want exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"digraph lockorder {",
+		`"ord.S.a" -> "ord.S.b"`,
+		`"ord.S.b" -> "ord.S.a"`,
+		`"ord.T.c" -> "ord.T.d"`, // interprocedural: held across the lockD call
+		`"ord.V.g" -> "ord.V.h"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"ord.V.h" -> "ord.V.g"`) {
+		t.Errorf("DOT output has a reverse V edge that no code creates:\n%s", out)
+	}
+	// Determinism: a second run renders byte-identical output.
+	var again bytes.Buffer
+	if code := run([]string{"-lockgraph", "./..."}, &again, &stderr); code != 0 {
+		t.Fatalf("second -lockgraph run: exit %d", code)
+	}
+	if again.String() != out {
+		t.Error("-lockgraph output is not deterministic across runs")
 	}
 }
 

@@ -1,7 +1,7 @@
 // Command tknnlint is this repository's static analyzer: it enforces the
 // invariants the compiler cannot see and `go vet` does not know about.
 //
-//	tknnlint [-json] [packages]
+//	tknnlint [-json|-sarif] [-lockgraph] [packages]
 //
 // Packages follow the usual ./... patterns; the default is the whole
 // module. Exit status is 0 when clean, 1 when findings were reported, and
@@ -32,6 +32,14 @@
 //	                  struct stores a context
 //	scratch-reuse     hot functions holding a *Scratch draw per-query
 //	                  buffers from it instead of New*/Get* constructors
+//	guarded-by        fields annotated //tknn:guardedBy(mu) are accessed
+//	                  only with the named mutex statically held, verified
+//	                  interprocedurally; RLock-held writes are flagged
+//	lock-order        acquire-while-holding edges form a module-wide
+//	                  lock-ordering graph; cycles are potential deadlocks
+//	untrusted-size    internal/persist and internal/wal never size an
+//	                  allocation from a decoded value without a bound
+//	                  check in between
 //
 // Any finding can be suppressed, one site at a time, with a trailing or
 // preceding comment:
@@ -41,8 +49,13 @@
 // Text output and the exit status consider only active findings. -json
 // emits every finding, suppressed ones included, each object carrying
 // file/line/col, the rule name, the message, and "suppressed" — so a CI
-// artifact of the JSON output records the accepted exceptions too. The
-// exit status is 1 exactly when active findings exist, in both modes.
+// artifact of the JSON output records the accepted exceptions too.
+// -sarif emits the same information as SARIF 2.1.0 (suppressed findings
+// carry an inSource suppression) for code-scanning UIs. The exit status
+// is 1 exactly when active findings exist, in all output modes.
+//
+// -lockgraph skips linting and prints the module's lock-ordering graph
+// as DOT (see `make lockgraph` and DESIGN.md).
 //
 // The analyzer is built on go/parser and go/types alone — the module has
 // no dependencies, and the linter keeps it that way.
@@ -64,9 +77,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tknnlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	lockGraph := fs.Bool("lockgraph", false, "print the lock-ordering graph as DOT and exit")
 	listRules := fs.Bool("rules", false, "print the rule catalog and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tknnlint [-json] [-rules] [packages]\n")
+		fmt.Fprintf(stderr, "usage: tknnlint [-json|-sarif] [-lockgraph] [-rules] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "tknnlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -88,6 +107,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *lockGraph {
+		fmt.Fprint(stdout, LockGraphDOT(mod))
+		return 0
 	}
 	match, err := matcher(fs.Args())
 	if err != nil {
@@ -109,7 +132,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	diags := Lint(mod, match)
 	act := active(diags)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -119,13 +143,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tknnlint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifReport(diags)); err != nil {
+			fmt.Fprintln(stderr, "tknnlint:", err)
+			return 2
+		}
+	default:
 		for _, d := range act {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(act) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(stderr, "tknnlint: %d finding(s)\n", len(act))
 		}
 		return 1

@@ -68,36 +68,31 @@ type declSite struct {
 	decl *ast.FuncDecl
 }
 
+// gatedPkg reports whether rel is a tag-build-only package whose code is
+// off the hot path by construction.
+func gatedPkg(rel string) bool {
+	return rel == "internal/invariant" || rel == "internal/fault"
+}
+
 // hotSet lazily computes the module's hot functions: the transitive
-// static-call closure of every //tknn:hotpath root. The map value is the
-// root the function was first reached from ("" for a root itself).
+// static-call closure of every //tknn:hotpath root, walked over the
+// shared module call graph (callgraph.go). The map value is the root the
+// function was first reached from ("" for a root itself).
 func (l *linter) hotSet() map[*types.Func]string {
 	if l.hot != nil {
 		return l.hot
 	}
 	l.hot = map[*types.Func]string{}
-	l.decls = map[*types.Func]declSite{}
+	mg := l.graph()
 
 	var roots []*types.Func
-	for _, pkg := range l.mod.Pkgs {
-		if pkg.Rel == "internal/invariant" || pkg.Rel == "internal/fault" {
+	for _, fn := range mg.declOrder {
+		site := mg.decls[fn]
+		if gatedPkg(site.pkg.Rel) {
 			continue // gated debug/chaos code is off the hot path by construction
 		}
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				l.decls[fn] = declSite{pkg: pkg, decl: fd}
-				if hasHotDirective(fd.Doc) {
-					roots = append(roots, fn)
-				}
-			}
+		if hasHotDirective(site.decl.Doc) {
+			roots = append(roots, fn)
 		}
 	}
 
@@ -114,34 +109,23 @@ func (l *linter) hotSet() map[*types.Func]string {
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		site := l.decls[fn]
 		origin := l.hot[fn]
-		guards := guardedSpans(site.pkg, site.decl)
-		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, e := range mg.edges[fn] {
+			if e.gated {
+				continue // dead in default builds; never hot
 			}
-			if posInSpans(call.Pos(), guards) {
-				return true // dead in default builds; never hot
+			if p := l.relPosition(e.pos); ignores.covers(p.Filename, p.Line, ruleHotAlloc) {
+				continue
 			}
-			if p := l.relPosition(call.Pos()); ignores.covers(p.Filename, p.Line, ruleHotAlloc) {
-				return true
+			if gatedPkg(mg.decls[e.callee].pkg.Rel) {
+				continue
 			}
-			callee := calleeFunc(site.pkg.Info, call)
-			if callee == nil {
-				return true
+			if _, seen := l.hot[e.callee]; seen {
+				continue
 			}
-			if _, known := l.decls[callee]; !known {
-				return true // outside the module (or invariant pkg)
-			}
-			if _, seen := l.hot[callee]; seen {
-				return true
-			}
-			l.hot[callee] = origin
-			queue = append(queue, callee)
-			return true
-		})
+			l.hot[e.callee] = origin
+			queue = append(queue, e.callee)
+		}
 	}
 	return l.hot
 }

@@ -37,7 +37,12 @@ import (
 const ruleLock = "lock-discipline"
 
 // lockMethodNames are the sync.Mutex/RWMutex methods the rule tracks.
-var lockOps = map[string]bool{"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true}
+// TryLock/TryRLock count as acquisitions for held-ness; their pairing is
+// handled specially in checkBranchUnlock (the successful branch holds).
+var lockOps = map[string]bool{
+	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true,
+}
 
 func (l *linter) checkLockDiscipline(pkg *Package) {
 	mutexFields := mutexFieldsByType(pkg)
@@ -133,6 +138,11 @@ func (l *linter) checkLockDiscipline(pkg *Package) {
 		if !ast.IsExported(name) || strings.HasSuffix(name, "Locked") {
 			continue
 		}
+		if l.guardIndex().annotatedTypes[m.tn] {
+			// The type opted into //tknn:guardedBy: the guarded-by rule
+			// verifies it interprocedurally, so the heuristic stands down.
+			continue
+		}
 		g := guarded[m.tn]
 		if len(g) == 0 {
 			continue
@@ -141,8 +151,8 @@ func (l *linter) checkLockDiscipline(pkg *Package) {
 		held := map[string]bool{}
 		ast.Inspect(m.decl.Body, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
-				if mu, op := recvMutexCall(pkg, call, m.recvObj, mf); mu != "" && (op == "Lock" || op == "RLock") {
-					held[mu] = true
+				if mu, op := recvMutexCall(pkg, call, m.recvObj, mf); mu != "" && op != "Unlock" && op != "RUnlock" {
+					held[mu] = true // Lock, RLock, or a Try variant
 				}
 			}
 			return true
@@ -320,6 +330,21 @@ func inspectUnit(unit ast.Node, fn func(ast.Node) bool) {
 	})
 }
 
+// tryLockKey renders the receiver of a (possibly negated) TryLock
+// condition, matching the key addCall produces for plain lock calls.
+func tryLockKey(cond ast.Expr) string {
+	e := unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		e = unparen(u.X)
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return types.ExprString(sel.X)
+		}
+	}
+	return ""
+}
+
 // lockEvent is one Lock/Unlock call found during the branch scan.
 type lockEvent struct {
 	key       string // printed receiver expression, e.g. "ix.mu"
@@ -373,6 +398,25 @@ func (l *linter) checkBranchUnlock(pkg *Package, fnName string, unit ast.Node) {
 		case *ast.BlockStmt:
 			walkList(st.List, st)
 		case *ast.IfStmt:
+			// A TryLock in the condition acquires the lock for exactly one
+			// branch: the success body for `if mu.TryLock()`, the code
+			// after the statement for `if !mu.TryLock() { return }`.
+			if _, flavor, negated, ok := tryLockCond(pkg, st.Cond); ok {
+				op := "TryLock"
+				if flavor == heldR {
+					op = "TryRLock"
+				}
+				container := ast.Node(st.Body)
+				if negated {
+					container = owner
+				}
+				events = append(events, lockEvent{
+					key:       tryLockKey(st.Cond),
+					op:        op,
+					pos:       st.Cond.Pos(),
+					container: container,
+				})
+			}
 			walkList(st.Body.List, st.Body)
 			if st.Else != nil {
 				walkList([]ast.Stmt{st.Else}, owner)
@@ -415,7 +459,7 @@ func (l *linter) checkBranchUnlock(pkg *Package, fnName string, unit ast.Node) {
 	type openKey struct{ key, flavor string }
 	open := map[openKey]lockEvent{}
 	flavor := func(op string) string {
-		if strings.HasPrefix(op, "R") {
+		if strings.HasPrefix(strings.TrimPrefix(op, "Try"), "R") {
 			return "R"
 		}
 		return "W"
@@ -423,7 +467,7 @@ func (l *linter) checkBranchUnlock(pkg *Package, fnName string, unit ast.Node) {
 	for _, ev := range events {
 		k := openKey{ev.key, flavor(ev.op)}
 		switch ev.op {
-		case "Lock", "RLock":
+		case "Lock", "RLock", "TryLock", "TryRLock":
 			if !ev.deferred {
 				open[k] = ev
 			}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Rule untrusted-size.
+//
+// The persist and WAL decode paths parse bytes that came from disk —
+// possibly truncated, possibly corrupted, possibly hostile. A length
+// word decoded from such bytes and fed straight into make() is the
+// classic crash-recovery attack surface: a flipped bit becomes a 4 GiB
+// allocation. The chunked-read discipline (cap every decoded count
+// against a sane bound before allocating) is established in
+// internal/persist; this rule pins it so future format changes cannot
+// regress it.
+//
+// Scope: internal/persist and internal/wal only.
+//
+// Sources (a value becomes tainted):
+//   - results of encoding/binary ByteOrder decodes (order.Uint16/32/64)
+//     and binary.ReadUvarint / binary.ReadVarint
+//   - variables whose address is passed to binary.Read or to a
+//     module-local read helper (func name starting with read/Read)
+//
+// Propagation: through assignments, arithmetic, and conversions —
+// but NOT through function calls. A helper like minInt(n, readChunk)
+// returns a clean value by construction; if the helper is wrong that is
+// its own review problem, not every caller's.
+//
+// Sanitizer: any comparison (<, <=, >, >=, ==, !=) mentioning the
+// tainted variable between the taint and the use. The rule does not
+// judge whether the bound is correct — only that a bound check exists.
+//
+// Sinks: make() size/cap arguments, io.CopyN's length argument, and
+// slice-expression bounds. A decode call sitting directly in a sink
+// argument (make([]byte, order.Uint32(hdr))) is flagged the same way.
+//
+// The analysis is intraprocedural and position-ordered: latest event
+// wins, so a re-decode after a check re-taints.
+const ruleTaint = "untrusted-size"
+
+// taintScope reports whether the rule applies to the package.
+func taintScope(rel string) bool {
+	return rel == "internal/persist" || rel == "internal/wal" ||
+		strings.HasPrefix(rel, "internal/persist/") || strings.HasPrefix(rel, "internal/wal/")
+}
+
+func (l *linter) checkUntrustedSize(pkg *Package) {
+	if !taintScope(pkg.Rel) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			l.checkTaintBody(pkg, fd)
+		}
+	}
+}
+
+// taintState tracks, per variable, the positions where it was tainted
+// and where it was bound-checked. A use is tainted when the latest
+// preceding taint is later than the latest preceding sanitizer.
+type taintState struct {
+	pkg    *Package
+	taints map[types.Object][]token.Pos
+	sani   map[types.Object][]token.Pos
+}
+
+func (ts *taintState) taintedAt(obj types.Object, use token.Pos) bool {
+	latest := func(evts []token.Pos) token.Pos {
+		best := token.NoPos
+		for _, p := range evts {
+			if p < use && p > best {
+				best = p
+			}
+		}
+		return best
+	}
+	t := latest(ts.taints[obj])
+	if t == token.NoPos {
+		return false
+	}
+	return t > latest(ts.sani[obj])
+}
+
+// checkTaintBody runs the taint pass over one function.
+func (l *linter) checkTaintBody(pkg *Package, fd *ast.FuncDecl) {
+	ts := &taintState{
+		pkg:    pkg,
+		taints: map[types.Object][]token.Pos{},
+		sani:   map[types.Object][]token.Pos{},
+	}
+
+	// Pass 1a: direct sources — &x passed to binary.Read or a read helper.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isDecodePtrSink(pkg, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if id, ok := unparen(u.X).(*ast.Ident); ok {
+				if obj := objectOf(pkg, id); obj != nil {
+					ts.taints[obj] = append(ts.taints[obj], call.End())
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 1b: sanitizers — any comparison mentioning a variable.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := objectOf(pkg, id); obj != nil {
+						ts.sani[obj] = append(ts.sani[obj], be.Pos())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass 1c: propagation through assignments, to a fixpoint (loops can
+	// carry taint backward through a second pass).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objectOf(pkg, id)
+				if obj == nil {
+					continue
+				}
+				if _, tainted := ts.exprTaint(as.Rhs[i], as.Rhs[i].Pos()); tainted {
+					if !hasPos(ts.taints[obj], as.End()) {
+						ts.taints[obj] = append(ts.taints[obj], as.End())
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: sinks.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pkg, e, "make") {
+				for _, arg := range e.Args[1:] {
+					if name, tainted := ts.exprTaint(arg, arg.Pos()); tainted {
+						l.report(arg.Pos(), ruleTaint,
+							"make sized by untrusted decoded value %s with no bound check between decode and allocation; cap it first", name)
+					}
+				}
+			}
+			if isIoCopyN(pkg, e) && len(e.Args) == 3 {
+				if name, tainted := ts.exprTaint(e.Args[2], e.Args[2].Pos()); tainted {
+					l.report(e.Args[2].Pos(), ruleTaint,
+						"io.CopyN length is untrusted decoded value %s with no bound check; cap it first", name)
+				}
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+				if bound == nil {
+					continue
+				}
+				if name, tainted := ts.exprTaint(bound, bound.Pos()); tainted {
+					l.report(bound.Pos(), ruleTaint,
+						"slice bound is untrusted decoded value %s with no bound check; validate it first", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func hasPos(evts []token.Pos, p token.Pos) bool {
+	for _, e := range evts {
+		if e == p {
+			return true
+		}
+	}
+	return false
+}
+
+// exprTaint reports whether the expression carries taint at use position
+// `use`, and names the tainted variable (or "decoded value" for an
+// inline decode call). Taint flows through arithmetic, conversions, and
+// parens; it stops at function calls and at comparisons.
+func (ts *taintState) exprTaint(e ast.Expr, use token.Pos) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := objectOf(ts.pkg, x)
+		if obj != nil && ts.taintedAt(obj, use) {
+			return x.Name, true
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return "", false // boolean result: not a size
+		}
+		if name, t := ts.exprTaint(x.X, use); t {
+			return name, true
+		}
+		return ts.exprTaint(x.Y, use)
+	case *ast.UnaryExpr:
+		return ts.exprTaint(x.X, use)
+	case *ast.CallExpr:
+		if isBinaryDecodeCall(ts.pkg, x) {
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				return sel.Sel.Name + "(...)", true
+			}
+			return "(inline decode)", true
+		}
+		// A conversion is transparent; any other call launders the value.
+		if tv, ok := ts.pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return ts.exprTaint(x.Args[0], use)
+		}
+	}
+	return "", false
+}
+
+// isBinaryDecodeCall matches order.Uint16/32/64 on an encoding/binary
+// ByteOrder and binary.ReadUvarint / binary.ReadVarint.
+func isBinaryDecodeCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "encoding/binary"
+	case "ReadUvarint", "ReadVarint":
+		fn := calleeFunc(pkg.Info, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary"
+	}
+	return false
+}
+
+// isDecodePtrSink matches calls that fill their pointer arguments with
+// decoded bytes: binary.Read and module-local read helpers.
+func isDecodePtrSink(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && fn.Name() == "Read" {
+		return true
+	}
+	// Module-local decode helper by naming convention.
+	if fn.Pkg() != nil && fn.Pkg().Path() == pkg.ImportPath {
+		name := fn.Name()
+		return strings.HasPrefix(name, "read") || strings.HasPrefix(name, "Read")
+	}
+	return false
+}
+
+// isIoCopyN matches io.CopyN.
+func isIoCopyN(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "io" && fn.Name() == "CopyN"
+}

@@ -1,0 +1,150 @@
+// Package reg exercises the guarded-by rule: directive parsing, direct
+// and interprocedural access checks, RLock-held writes, the ...Locked
+// call-site convention, closure isolation, the fresh-local exemption,
+// and suppression.
+package reg
+
+import "sync"
+
+// Tree carries the annotations. blocks and size are guarded by mu; hits
+// needs both mu and statsMu. The bad/worse/ugly fields exercise the
+// directive-misuse diagnostics.
+type Tree struct {
+	mu      sync.RWMutex
+	statsMu sync.Mutex
+
+	//tknn:guardedBy(mu)
+	blocks []int
+	size   int //tknn:guardedBy(mu)
+
+	//tknn:guardedBy(mu, statsMu)
+	hits int
+
+	//tknn:guardedBy(nope)
+	bad int
+
+	//tknn:guardedBy(size)
+	worse int
+
+	//tknn:guardedBy
+	ugly int
+}
+
+//tknn:guardedBy(mu)
+func (t *Tree) Misplaced() {}
+
+//tknn:guardedBy(mu)
+var loose int
+
+// NewTree initializes fields before the value is published: exempt.
+func NewTree() *Tree {
+	t := &Tree{}
+	t.blocks = make([]int, 0, 8)
+	t.size = 0
+	return t
+}
+
+// Peek reads size without any lock: flagged.
+func (t *Tree) Peek() int {
+	return t.size
+}
+
+// Grow writes blocks while holding only the read lock: flagged as an
+// RLock-held write.
+func (t *Tree) Grow(n int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.blocks = append(t.blocks, n)
+}
+
+// Hit holds mu but not statsMu; both guards are required: flagged.
+func (t *Tree) Hit() {
+	t.mu.Lock()
+	t.hits++
+	t.mu.Unlock()
+}
+
+// HitBoth holds both guards in a consistent order: clean.
+func (t *Tree) HitBoth() {
+	t.mu.Lock()
+	t.statsMu.Lock()
+	t.hits++
+	t.statsMu.Unlock()
+	t.mu.Unlock()
+}
+
+// resetTail is private and lock-free, but every static caller holds mu,
+// so the interprocedural entry set keeps it clean.
+func (t *Tree) resetTail() {
+	t.blocks = t.blocks[:0]
+	t.size = 0
+}
+
+// Clear locks around resetTail: clean.
+func (t *Tree) Clear() {
+	t.mu.Lock()
+	t.resetTail()
+	t.mu.Unlock()
+}
+
+// Flush also locks; the intersection over both call sites holds mu.
+func (t *Tree) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resetTail()
+}
+
+// dropAll is reached from an unlocked caller (Leak), so the
+// intersection over call sites is empty: its write is flagged.
+func (t *Tree) dropAll() {
+	t.blocks = nil
+}
+
+// Leak forgets the lock before calling dropAll.
+func (t *Tree) Leak() {
+	t.dropAll()
+}
+
+// clearLocked follows the caller-holds-mu naming convention; the body is
+// checked under that assumption and stays clean. Callers that do not
+// hold mu are flagged at the call site instead.
+func (t *Tree) clearLocked() {
+	t.blocks = nil
+	t.size = 0
+}
+
+// Good holds mu around the Locked call: clean.
+func (t *Tree) Good() {
+	t.mu.Lock()
+	t.clearLocked()
+	t.mu.Unlock()
+}
+
+// Bad calls the Locked helper without mu: flagged at the call.
+func (t *Tree) Bad() {
+	t.clearLocked()
+}
+
+// Walk builds a closure that reads blocks. Closures are separate units
+// and inherit no held locks, so the read inside the literal is flagged
+// even though Walk holds mu.
+func (t *Tree) Walk() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := func() int { return len(t.blocks) }
+	return f()
+}
+
+// TryBump writes size only inside the successful TryLock branch: clean.
+func (t *Tree) TryBump() {
+	if t.mu.TryLock() {
+		t.size++
+		t.mu.Unlock()
+	}
+}
+
+// Snapshot reads lock-free on purpose and documents why: suppressed.
+func (t *Tree) Snapshot() int {
+	//lint:ignore guarded-by single-writer phase, documented in the call contract
+	return t.size
+}

@@ -88,3 +88,27 @@ func (r *Registry) Touch() {
 	r.count++
 	r.hits++
 }
+
+// TryDrain acquires via TryLock but releases on a different branch:
+// flagged at the TryLock, same as a branch-spanning Lock.
+func (r *Registry) TryDrain() int {
+	if r.mu.TryLock() {
+		if r.count > 0 {
+			n := r.count
+			r.count = 0
+			r.mu.Unlock()
+			return n
+		}
+		r.mu.Unlock()
+	}
+	return 0
+}
+
+// TryReset keeps the successful-TryLock acquisition and its release in
+// one block: clean.
+func (r *Registry) TryReset() {
+	if r.mu.TryLock() {
+		r.count = 0
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,101 @@
+// Package ord exercises the lock-order rule: a direct two-lock cycle,
+// a cycle closed through an interprocedural acquire, a reviewed
+// (suppressed) cycle, and a consistently ordered pair that stays clean.
+package ord
+
+import "sync"
+
+// S's two methods disagree on acquisition order: a→b and b→a form a
+// cycle, reported once at the alphabetically-least edge's acquire site.
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB acquires a then b.
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// BA acquires b then a: the reverse order.
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// T closes its cycle interprocedurally: Cross holds c while lockD
+// acquires d two frames down, and Back acquires c while holding d.
+type T struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// lockD acquires d on behalf of its callers.
+func (t *T) lockD() {
+	t.d.Lock()
+	t.d.Unlock()
+}
+
+// Cross holds c across the lockD call: edge c→d via may-entry
+// propagation.
+func (t *T) Cross() {
+	t.c.Lock()
+	t.lockD()
+	t.c.Unlock()
+}
+
+// Back acquires c while holding d: edge d→c, closing the cycle.
+func (t *T) Back() {
+	t.d.Lock()
+	t.c.Lock()
+	t.c.Unlock()
+	t.d.Unlock()
+}
+
+// U's cycle is reviewed and suppressed at the witness site.
+type U struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+// EF holds e while acquiring f; FE does the reverse, but the two are
+// serialized by construction, so the witness carries an ignore.
+func (u *U) EF() {
+	u.e.Lock()
+	//lint:ignore lock-order EF and FE are serialized by the caller; reviewed
+	u.f.Lock()
+	u.f.Unlock()
+	u.e.Unlock()
+}
+
+func (u *U) FE() {
+	u.f.Lock()
+	u.e.Lock()
+	u.e.Unlock()
+	u.f.Unlock()
+}
+
+// V orders g before h everywhere: edge g→h only, no cycle, clean.
+type V struct {
+	g sync.Mutex
+	h sync.Mutex
+}
+
+func (v *V) First() {
+	v.g.Lock()
+	v.h.Lock()
+	v.h.Unlock()
+	v.g.Unlock()
+}
+
+func (v *V) Second() {
+	v.g.Lock()
+	v.h.Lock()
+	v.h.Unlock()
+	v.g.Unlock()
+}

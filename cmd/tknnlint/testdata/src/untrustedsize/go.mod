@@ -1,0 +1,3 @@
+module lintcase
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package persist exercises the untrusted-size rule on the snapshot
+// decode path: unchecked decoded sizes flow into make and io.CopyN;
+// bound-checked ones stay clean.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxPayload = 1 << 20
+
+var errTooLarge = errors.New("payload too large")
+
+// LoadRaw allocates straight from a decoded count: flagged.
+func LoadRaw(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// LoadCapped checks the decoded count before allocating: clean.
+func LoadCapped(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	if n > maxPayload {
+		return nil, errTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Spool copies a decoded length with no cap: flagged at the CopyN
+// length argument.
+func Spool(dst io.Writer, src io.Reader) error {
+	var n uint64
+	if err := binary.Read(src, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if _, err := io.CopyN(dst, src, int64(n)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SpoolCapped bounds the length first: clean.
+func SpoolCapped(dst io.Writer, src io.Reader) error {
+	var n uint64
+	if err := binary.Read(src, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n > maxPayload {
+		return errTooLarge
+	}
+	if _, err := io.CopyN(dst, src, int64(n)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Inline feeds the decode straight into make: flagged.
+func Inline(hdr []byte) []int64 {
+	return make([]int64, binary.LittleEndian.Uint16(hdr))
+}
+
+// Preload allocates from a decoded hint on purpose: suppressed.
+func Preload(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	//lint:ignore untrusted-size startup-only sizing hint; a bad value fails fast at open
+	return make([]byte, n)
+}

@@ -1,0 +1,41 @@
+// Package wal exercises the untrusted-size rule on the replay path:
+// slice bounds from local read helpers and varint-decoded allocation
+// sizes.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+)
+
+// readLen is a module-local decode helper: values it fills through a
+// pointer are tainted at every caller.
+func readLen(b []byte, out *uint32) {
+	*out = binary.LittleEndian.Uint32(b)
+}
+
+// Frame slices by an unchecked decoded offset: flagged at the bound.
+func Frame(b []byte) []byte {
+	var n uint32
+	readLen(b, &n)
+	return b[:n]
+}
+
+// FrameChecked validates the offset against the buffer first: clean.
+func FrameChecked(b []byte) []byte {
+	var n uint32
+	readLen(b, &n)
+	if int(n) > len(b) {
+		return nil
+	}
+	return b[:n]
+}
+
+// Varint allocates from a varint-decoded length with no cap: flagged.
+func Varint(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}

@@ -64,7 +64,8 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 type retrier struct {
 	policy RetryPolicy
 	mu     sync.Mutex
-	rng    *rand.Rand
+	//tknn:guardedBy(mu)
+	rng *rand.Rand
 }
 
 func newRetrier(p RetryPolicy) *retrier {

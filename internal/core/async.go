@@ -49,7 +49,7 @@ func (ix *Index) processSeal(job sealJob) {
 	cascade := []pending{{job.lo, job.hi, 0}}
 	curH := 0
 	for i := len(ix.forest) - 1; i >= 0; i-- {
-		root := &ix.blocks[ix.forest[i]]
+		root := ix.blocks[ix.forest[i]]
 		if root.Height != curH {
 			break
 		}

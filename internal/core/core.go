@@ -148,12 +148,21 @@ func (b *Block) Len() int { return b.Hi - b.Lo }
 type Index struct {
 	opts Options
 
-	mu     sync.RWMutex
-	store  *vec.Store
-	times  []int64
-	blocks []Block // creation (= postorder) order
-	forest []int   // block ids of complete-subtree roots, heights strictly decreasing left→right
-	openLo int     // global start of the open (non-full) leaf
+	mu sync.RWMutex
+	//tknn:guardedBy(mu)
+	store *vec.Store
+	//tknn:guardedBy(mu)
+	times []int64
+	// blocks is in creation (= postorder) order.
+	//tknn:guardedBy(mu)
+	blocks []Block
+	// forest holds block ids of complete-subtree roots, heights strictly
+	// decreasing left→right.
+	//tknn:guardedBy(mu)
+	forest []int
+	// openLo is the global start of the open (non-full) leaf.
+	//tknn:guardedBy(mu)
+	openLo int
 
 	// Async-merge machinery (nil / unused when !opts.AsyncMerge). Sealed
 	// leaf ranges travel through jobs to a single worker; vectors in
@@ -161,7 +170,8 @@ type Index struct {
 	// installed yet, so queries brute-force them.
 	jobs    chan sealJob
 	pending sync.WaitGroup
-	closed  bool
+	//tknn:guardedBy(mu)
+	closed bool
 
 	// entrySalt seeds per-query entry-point randomness for the internal
 	// Search path: each query hashes (entrySalt, vector) into a plan-local
@@ -170,7 +180,8 @@ type Index struct {
 	// deterministic where the old mutex-guarded rand.Rand made them depend
 	// on call order.
 	entrySalt uint64
-	executor  exec.Executor
+	//tknn:guardedBy(mu)
+	executor exec.Executor
 }
 
 // sealJob is one filled leaf handed to the async merge worker.
@@ -187,7 +198,7 @@ func New(opts Options) (*Index, error) {
 		opts:  opts,
 		store: vec.NewStore(opts.Dim),
 	}
-	ix.initQueryState()
+	ix.entrySalt, ix.executor = queryState(opts)
 	if opts.AsyncMerge {
 		ix.jobs = make(chan sealJob, 16)
 		go ix.mergeWorker()
@@ -195,13 +206,13 @@ func New(opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// initQueryState wires the runtime pieces New and Restore share: the
+// queryState derives the runtime pieces New and Restore share: the
 // entry-point salt (derived from the seed, distinctly from builds) and the
 // intra-query executor. Per-query searcher and buffer state lives in
-// Scratch, not the index.
-func (ix *Index) initQueryState() {
-	ix.entrySalt = uint64(ix.opts.Seed) ^ 0x6d6269
-	ix.executor = exec.New(ix.opts.QueryWorkers)
+// Scratch, not the index. It is a free function so both constructors can
+// assign the results into a still-private Index before publishing it.
+func queryState(opts Options) (uint64, exec.Executor) {
+	return uint64(opts.Seed) ^ 0x6d6269, exec.New(opts.QueryWorkers)
 }
 
 // Options returns the index configuration.
@@ -241,8 +252,9 @@ func (ix *Index) Append(v []float32, t int64) error {
 		return fmt.Errorf("mbi: index is closed")
 	}
 	if n := len(ix.times); n > 0 && t < ix.times[n-1] {
+		last := ix.times[n-1]
 		ix.mu.Unlock()
-		return fmt.Errorf("mbi: timestamp %d precedes last timestamp %d", t, ix.times[n-1])
+		return fmt.Errorf("mbi: timestamp %d precedes last timestamp %d", t, last)
 	}
 	if _, err := ix.store.Append(v); err != nil {
 		ix.mu.Unlock()
@@ -337,12 +349,16 @@ func (ix *Index) sealLeafLocked() {
 	base := len(ix.blocks)
 	graphs := make([]*graph.CSR, len(cascade))
 	codes := make([]*sq.Codes, len(cascade))
+	// The build closures run on worker goroutines inside this write-lock
+	// critical section; hand them the store snapshot rather than reaching
+	// back through ix from an unlocked context.
+	store := ix.store
 	build := func(i int) {
 		p := cascade[i]
-		view := vec.View{Store: ix.store, Lo: p.lo, Hi: p.hi, Metric: ix.opts.Metric}
+		view := vec.View{Store: store, Lo: p.lo, Hi: p.hi, Metric: ix.opts.Metric}
 		graphs[i] = ix.opts.Builder.Build(view, ix.opts.Seed+int64(base+i))
 		if ix.compressHeight(p.height) {
-			codes[i] = sq.Train(ix.store, p.lo, p.hi, sq.TrainConfig{})
+			codes[i] = sq.Train(store, p.lo, p.hi, sq.TrainConfig{})
 		}
 	}
 	if ix.opts.Workers > 1 && len(cascade) > 1 {
@@ -459,7 +475,7 @@ func overlaps(bts, bte, ts, te int64) bool {
 // selectInLocked implements the three cases of Algorithm 4 for the subtree
 // rooted at block bi.
 func (ix *Index) selectInLocked(bi int, ts, te int64, tau float64, out *[]selection) {
-	b := &ix.blocks[bi]
+	b := ix.blocks[bi]
 	bts, bte := ix.blockWindowLocked(b.Lo, b.Hi)
 	if !overlaps(bts, bte, ts, te) {
 		return // case 1: r_o = 0

@@ -89,7 +89,8 @@ func (ix *Index) checkInvariantsLocked() error {
 	if len(ix.times) != n {
 		return fmt.Errorf("mbi: %d timestamps for %d vectors", len(ix.times), n)
 	}
-	if !sort.SliceIsSorted(ix.times, func(i, j int) bool { return ix.times[i] < ix.times[j] }) {
+	times := ix.times
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
 		return fmt.Errorf("mbi: timestamps not sorted")
 	}
 
@@ -240,7 +241,7 @@ func Restore(opts Options, store *vec.Store, times []int64, blocks []Block, fore
 		forest: forest,
 		openLo: openLo,
 	}
-	ix.initQueryState()
+	ix.entrySalt, ix.executor = queryState(opts)
 	if err := ix.CheckInvariants(); err != nil {
 		return nil, err
 	}

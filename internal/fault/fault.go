@@ -112,7 +112,8 @@ type rule struct {
 	fires atomic.Uint64
 
 	// rng backs Prob draws; guarded by mu because hits race.
-	mu  sync.Mutex
+	mu sync.Mutex
+	//tknn:guardedBy(mu)
 	rng *rand.Rand
 }
 

@@ -134,20 +134,31 @@ type Manager struct {
 
 	// mu guards the log state below and, critically, spans log+apply in
 	// Append so the log order always equals the apply order.
-	mu       sync.Mutex
-	seg      *segmentWriter
-	nextSeq  uint64
-	sinceCp  uint64
-	broken   error // first write/sync failure; poisons further appends
-	closed   bool
+	mu sync.Mutex
+	//tknn:guardedBy(mu)
+	seg *segmentWriter
+	//tknn:guardedBy(mu)
+	nextSeq uint64
+	//tknn:guardedBy(mu)
+	sinceCp uint64
+	// broken records the first write/sync failure; poisons further appends.
+	//tknn:guardedBy(mu)
+	broken error
+	//tknn:guardedBy(mu)
+	closed bool
+	//tknn:guardedBy(mu)
 	appended uint64
-	fsyncs   uint64
+	//tknn:guardedBy(mu)
+	fsyncs uint64
 
 	// cpMu serializes checkpoints and orders before mu.
-	cpMu        sync.Mutex
+	cpMu sync.Mutex
+	//tknn:guardedBy(cpMu)
 	checkpoints uint64
-	lastCpSeq   uint64
-	lastCpTime  time.Time
+	//tknn:guardedBy(cpMu)
+	lastCpSeq uint64
+	//tknn:guardedBy(cpMu)
+	lastCpTime time.Time
 
 	replay ReplayStats
 
@@ -155,6 +166,8 @@ type Manager struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
+	// encBuf is the reusable record-encoding scratch buffer.
+	//tknn:guardedBy(mu)
 	encBuf []byte
 }
 
@@ -205,9 +218,11 @@ func Open(cfg Config, restore RestoreFunc) (*Manager, error) {
 		}
 		m.logf("wal: truncated torn tail of %s at byte %d", filepath.Base(stats.TruncatedPath), stats.TruncatedAt)
 	}
-	if err := m.openActiveSegment(); err != nil {
+	seg, err := openActiveSegment(cfg.Dir, cfg.SegmentBytes, m.nextSeq)
+	if err != nil {
 		return nil, err
 	}
+	m.seg = seg
 
 	if cfg.Sync == SyncInterval {
 		m.wg.Add(1)
@@ -293,29 +308,20 @@ func truncateTorn(path string, at int64, dir string) error {
 }
 
 // openActiveSegment resumes appending: the last on-disk segment if it has
-// room, else a fresh one starting at nextSeq.
-func (m *Manager) openActiveSegment() error {
-	segs, err := listSegments(m.cfg.Dir)
+// room, else a fresh one starting at nextSeq. It is a free function so
+// Open can wire the result into a still-private Manager.
+func openActiveSegment(dir string, segmentBytes int64, nextSeq uint64) (*segmentWriter, error) {
+	segs, err := listSegments(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if invariant.Enabled {
 		invariant.NoError(validateSegments(segs), "wal: on-disk log at startup")
 	}
-	if n := len(segs); n > 0 && segs[n-1].size < m.cfg.SegmentBytes {
-		seg, err := openSegmentForAppend(segs[n-1])
-		if err != nil {
-			return err
-		}
-		m.seg = seg
-		return nil
+	if n := len(segs); n > 0 && segs[n-1].size < segmentBytes {
+		return openSegmentForAppend(segs[n-1])
 	}
-	seg, err := createSegment(m.cfg.Dir, m.nextSeq)
-	if err != nil {
-		return err
-	}
-	m.seg = seg
-	return nil
+	return createSegment(dir, nextSeq)
 }
 
 // Index returns the managed target.

@@ -25,9 +25,10 @@ func validateSegments(segs []segmentFile) error {
 // the active segment exists, its first record position does not exceed the
 // next sequence number (the segment holds records [firstSeq, nextSeq)), an
 // empty segment sits exactly at nextSeq, and no checkpoint claims to cover
-// records that were never logged. Caller holds mu; all fields read here
-// are written only under mu, so the check is race-free. O(1) — safe to run
-// per record under the invariant gate.
+// records that were never logged. Caller holds mu; the mu-guarded fields
+// are obviously race-free, and lastCpSeq (guarded by cpMu) is written only
+// while Checkpoint holds BOTH cpMu and mu, so holding either lock makes
+// reading it safe. O(1) — safe to run per record under the invariant gate.
 func (m *Manager) validateLocked() error {
 	if m.seg == nil {
 		return fmt.Errorf("wal: no active segment")
@@ -41,6 +42,7 @@ func (m *Manager) validateLocked() error {
 	if m.seg.size == segHeaderLen && m.seg.firstSeq != m.nextSeq {
 		return fmt.Errorf("wal: empty active segment at record %d, want %d", m.seg.firstSeq, m.nextSeq)
 	}
+	//lint:ignore guarded-by lastCpSeq is written only under cpMu+mu together, so mu alone is a race-free read
 	if m.lastCpSeq > m.nextSeq {
 		return fmt.Errorf("wal: checkpoint covers %d records but only %d were logged", m.lastCpSeq, m.nextSeq)
 	}
