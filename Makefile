@@ -6,9 +6,9 @@ GO ?= go
 # Packages whose concurrency claims are exercised under the race detector.
 # stress_race_test.go in internal/core is gated on the `race` build tag,
 # so it runs here and nowhere else.
-RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/ ./internal/fault/
+RACE_PKGS = ./internal/core/ ./internal/exec/ ./internal/server/ ./internal/client/ ./internal/nndescent/ ./internal/wal/ ./internal/graph/ ./internal/theap/ ./internal/sq/ ./internal/fault/ ./internal/blockcache/
 
-.PHONY: check fmt vet build test race lint lockgraph invariants faults recover bench-exec bench-allocs bench-sq bench-chaos allocs-gate
+.PHONY: check fmt vet build test race lint lockgraph invariants faults recover bench-exec bench-allocs bench-sq bench-tier bench-chaos allocs-gate
 
 check: fmt vet build test race lint invariants faults recover
 
@@ -77,6 +77,14 @@ bench-allocs:
 # drifting-cluster dataset. Writes BENCH_sq.json.
 bench-sq:
 	$(GO) run ./cmd/mbibench sq
+
+# Tiered-storage benchmark: spill cold blocks to segment files, then
+# recall@10 and p50/p99 latency at 1x/4x/16x memory overcommit against
+# the all-RAM baseline, plus the cache hit-rate trajectory. Enforces the
+# 4x-overcommit gates (recall within 0.01 of all-RAM, p99 bounded) and
+# writes BENCH_tier.json.
+bench-tier:
+	$(GO) run ./cmd/mbibench tier
 
 # Overload/chaos harness: open-loop insert+search traffic at multiples of
 # the measured capacity against the admission-controlled server, with the

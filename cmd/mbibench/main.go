@@ -27,6 +27,9 @@
 //	sq        SQ8 compression: bytes/vector, asymmetric-kernel scan
 //	          throughput, recall vs flat at rerank factors 1/2/4 on
 //	          drifting clusters (writes BENCH_sq.json)
+//	tier      tiered storage: spill cold blocks to disk, then
+//	          recall/p50/p99 and cache hit rate at 1x/4x/16x memory
+//	          overcommit vs the all-RAM baseline (writes BENCH_tier.json)
 //	chaos     overload resilience: open-loop insert+search traffic at
 //	          multiples of capacity against the admission-controlled
 //	          server, with a deterministic fault schedule when built
@@ -151,6 +154,10 @@ func run(args []string) error {
 		if _, err := bench.SQExperiment(cfg, w, outPath("BENCH_sq.json")); err != nil {
 			return err
 		}
+	case "tier":
+		if _, err := bench.TierExperiment(cfg, w, outPath("BENCH_tier.json")); err != nil {
+			return err
+		}
 	case "chaos":
 		if _, err := bench.ChaosExperiment(cfg, w, outPath("BENCH_chaos.json")); err != nil {
 			return err
@@ -180,6 +187,9 @@ func run(args []string) error {
 			return err
 		}
 		if _, err := bench.SQExperiment(cfg, w, outPath("BENCH_sq.json")); err != nil {
+			return err
+		}
+		if _, err := bench.TierExperiment(cfg, w, outPath("BENCH_tier.json")); err != nil {
 			return err
 		}
 	default:

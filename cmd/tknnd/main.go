@@ -16,6 +16,12 @@
 // background checkpoints bound replay time (-checkpoint-every), and a
 // crashed process recovers its exact acknowledged state on restart.
 //
+// Tiered storage. Adding -spill moves cold sealed blocks into per-block
+// segment files under <data-dir>/segments at every checkpoint; queries
+// page them back through a bounded LRU block cache (-cache-bytes).
+// Recovery composes the newest snapshot, the segment files it
+// references, and the WAL suffix.
+//
 // The legacy pair stays supported for snapshot-only deployments: with
 // -load the index starts from a file written by -save-on-exit (or by
 // tknn.MBI.Save); with -save-on-exit it persists on SIGINT/SIGTERM. The
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -74,6 +81,8 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync=interval")
 	checkpointEvery := flag.Int("checkpoint-every", 100000, "checkpoint after this many appended records (0 = manual only)")
 	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
+	spill := flag.Bool("spill", false, "tiered storage: spill cold sealed blocks to segment files under <data-dir>/segments at every checkpoint (requires -data-dir)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "block cache byte bound for -spill; spilled blocks page through this cache")
 	load := flag.String("load", "", "load index from file at startup (legacy snapshot mode)")
 	saveOnExit := flag.String("save-on-exit", "", "save index to file on shutdown (legacy snapshot mode)")
 	flag.Parse()
@@ -99,6 +108,13 @@ func main() {
 
 	if *dataDir != "" && (*load != "" || *saveOnExit != "") {
 		log.Fatal("-data-dir already persists the index; drop -load/-save-on-exit")
+	}
+	if *spill {
+		if *dataDir == "" {
+			log.Fatal("-spill needs -data-dir: segments live alongside the WAL and checkpoints")
+		}
+		opts.SpillDir = filepath.Join(*dataDir, "segments")
+		opts.CacheBytes = *cacheBytes
 	}
 
 	// Bind the listener before recovery so load balancers can probe the

@@ -39,11 +39,15 @@ func uncheckedErrScope(rel string) bool {
 	// internal/fault is in scope because the injection registry is what
 	// the chaos and recovery gates trust: a swallowed error in rule
 	// parsing or installation would make a fault schedule silently
-	// weaker than the test believes it is.
+	// weaker than the test believes it is. internal/blockcache is in
+	// scope because its loader runs segment-file I/O on the query path:
+	// a swallowed load error would turn a disk fault into silently
+	// missing results instead of a Partial outcome.
 	return strings.HasPrefix(rel, "cmd/") || rel == "internal/server" ||
 		rel == "internal/wal" || rel == "internal/exec" ||
 		rel == "internal/persist" || rel == "internal/client" ||
-		rel == "internal/sq" || rel == "internal/fault"
+		rel == "internal/sq" || rel == "internal/fault" ||
+		rel == "internal/blockcache"
 }
 
 func watchedErrPkg(path string) bool {

@@ -18,7 +18,10 @@ import (
 // internal/persist; this rule pins it so future format changes cannot
 // regress it.
 //
-// Scope: internal/persist and internal/wal only.
+// Scope: internal/persist, internal/wal, and internal/blockcache —
+// the last because the block cache's loader hands it payloads decoded
+// from segment files, so any future decoding it grows must keep the
+// same discipline.
 //
 // Sources (a value becomes tainted):
 //   - results of encoding/binary ByteOrder decodes (order.Uint16/32/64)
@@ -45,8 +48,9 @@ const ruleTaint = "untrusted-size"
 
 // taintScope reports whether the rule applies to the package.
 func taintScope(rel string) bool {
-	return rel == "internal/persist" || rel == "internal/wal" ||
-		strings.HasPrefix(rel, "internal/persist/") || strings.HasPrefix(rel, "internal/wal/")
+	return rel == "internal/persist" || rel == "internal/wal" || rel == "internal/blockcache" ||
+		strings.HasPrefix(rel, "internal/persist/") || strings.HasPrefix(rel, "internal/wal/") ||
+		strings.HasPrefix(rel, "internal/blockcache/")
 }
 
 func (l *linter) checkUntrustedSize(pkg *Package) {

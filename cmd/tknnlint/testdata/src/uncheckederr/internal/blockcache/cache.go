@@ -1,0 +1,18 @@
+// Package blockcache is the eighth unchecked-errors scope: its loader
+// runs segment-file I/O on the query path, where a swallowed error turns
+// a disk fault into silently missing results instead of a Partial
+// outcome.
+package blockcache
+
+import (
+	"io"
+	"os"
+)
+
+// Fill pages one segment payload into buf.
+func Fill(f *os.File, buf []byte) {
+	io.ReadFull(f, buf)        // discarded read error: flagged
+	_ = f.Close()              // explicit discard: clean
+	defer f.Close()            // deferred close on a read path: accepted
+	_, _ = io.ReadFull(f, buf) // explicit discard: clean
+}

@@ -1,0 +1,23 @@
+// Package blockcache is the third untrusted-size scope: cache loaders
+// hand it payloads decoded from segment files, so any length it decodes
+// itself must be bounded before it allocates.
+package blockcache
+
+import "encoding/binary"
+
+// Admit sizes a resident buffer straight from a decoded segment header:
+// flagged — a flipped bit becomes a multi-gigabyte allocation.
+func Admit(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n)
+}
+
+// AdmitBounded caps the decoded length against the cache budget first:
+// clean.
+func AdmitBounded(hdr []byte, budget int) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	if int(n) > budget {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/blockcache"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/invariant"
@@ -89,6 +90,12 @@ type Options struct {
 	// candidates, re-ranked exactly against the float32 store. Zero
 	// defaults to exec.DefaultRerankFactor.
 	RerankFactor int
+	// Spill enables tiered storage: sealed blocks at or below
+	// Spill.MaxHeight may have their graph and codes written to per-block
+	// segments (SpillCold) and released from RAM, after which queries
+	// page them back through a bounded block cache. Nil keeps every block
+	// RAM-resident.
+	Spill *SpillConfig
 }
 
 // Validate reports whether the options are usable.
@@ -123,6 +130,11 @@ func (o *Options) Validate() error {
 	if o.RerankFactor < 0 {
 		return fmt.Errorf("mbi: RerankFactor must be non-negative, got %d", o.RerankFactor)
 	}
+	if o.Spill != nil {
+		if err := o.Spill.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -136,6 +148,12 @@ type Block struct {
 	Height int
 	Graph  *graph.CSR
 	Codes  *sq.Codes
+	// Spilled marks a block whose graph and codes live in a per-block
+	// segment (Options.Spill): Graph and Codes are nil, and queries page
+	// the payload back through the index's block cache keyed by the
+	// block's creation index. SegBytes is the segment's on-disk size.
+	Spilled  bool
+	SegBytes int64
 }
 
 // Len returns the number of vectors the block covers.
@@ -182,6 +200,13 @@ type Index struct {
 	entrySalt uint64
 	//tknn:guardedBy(mu)
 	executor exec.Executor
+
+	// cache pages spilled block payloads back from segment files; nil
+	// unless Options.Spill is set. The pointer is read at plan time under
+	// the read lock and swapped only by SetCacheBytes under the write
+	// lock; the cache itself is internally synchronized.
+	//tknn:guardedBy(mu)
+	cache *blockcache.Cache
 }
 
 // sealJob is one filled leaf handed to the async merge worker.
@@ -199,6 +224,7 @@ func New(opts Options) (*Index, error) {
 		store: vec.NewStore(opts.Dim),
 	}
 	ix.entrySalt, ix.executor = queryState(opts)
+	ix.cache = newBlockCache(opts)
 	if opts.AsyncMerge {
 		ix.jobs = make(chan sealJob, 16)
 		go ix.mergeWorker()
@@ -430,6 +456,11 @@ type selection struct {
 	g        *graph.CSR
 	codes    *sq.Codes // non-nil when the block is SQ8-compressed
 	openLeaf bool
+	// cold marks a spilled block: g and codes are nil and id is the
+	// block's creation index, the key the executor's fetch stage uses to
+	// page the payload through the block cache.
+	cold bool
+	id   int
 }
 
 // installedHiLocked returns the end of the region covered by installed
@@ -487,7 +518,7 @@ func (ix *Index) selectInLocked(bi int, ts, te int64, tau float64, out *[]select
 	if b.Height == 0 || ro > tau {
 		// Case 2: leaves always count; internal blocks count when the
 		// window covers more than τ of them.
-		*out = append(*out, selection{lo: b.Lo, hi: b.Hi, g: b.Graph, codes: b.Codes})
+		*out = append(*out, selection{lo: b.Lo, hi: b.Hi, g: b.Graph, codes: b.Codes, cold: b.Spilled, id: bi})
 		return
 	}
 	// Case 3: recurse into the children. Postorder numbering puts the

@@ -34,7 +34,14 @@ type BlockPlan struct {
 	BruteForce bool
 	// Compressed reports that the block is searched through its SQ8 codes
 	// (asymmetric distances + exact re-rank) rather than the float store.
+	// For a cold block it reflects the fetched payload in executed plans
+	// and is false in static ones (the payload is on disk).
 	Compressed bool
+	// Cold reports that the block is spilled: its payload is paged in
+	// through the block cache by the executor's fetch stage. Fetch is
+	// the page-in time in an executed plan (near-zero on a cache hit).
+	Cold  bool
+	Fetch time.Duration
 	// Duration is the block subtask's wall-clock run time. Zero unless the
 	// plan was executed (SearchExplainContext).
 	Duration time.Duration
@@ -68,7 +75,9 @@ type Plan struct {
 	// block selection + planning, per-block subtask execution, and the
 	// final theap.Merge combine. Rerank is the CPU time compressed blocks
 	// spent re-scoring candidates exactly; it is contained in Search.
-	Select, Search, Merge, Rerank time.Duration
+	// Fetch is the summed time cold blocks spent paging their payloads
+	// through the block cache; it overlaps the Search wall clock.
+	Select, Search, Merge, Rerank, Fetch time.Duration
 }
 
 // String renders the plan like an EXPLAIN output; executed plans include
@@ -82,6 +91,9 @@ func (p Plan) String() string {
 		if p.Rerank > 0 {
 			fmt.Fprintf(&b, " (rerank %v)", p.Rerank)
 		}
+		if p.Fetch > 0 {
+			fmt.Fprintf(&b, " (fetch %v)", p.Fetch)
+		}
 		if p.Partial {
 			b.WriteString(" (partial)")
 		}
@@ -91,6 +103,9 @@ func (p Plan) String() string {
 		kind := fmt.Sprintf("height %d, graph", blk.Height)
 		if blk.Compressed {
 			kind = fmt.Sprintf("height %d, graph+sq8", blk.Height)
+		}
+		if blk.Cold {
+			kind += ", cold"
 		}
 		if blk.BruteForce {
 			kind = "open leaf, brute force"
@@ -152,6 +167,7 @@ func (ix *Index) explainSelLocked(sel []selection, ts, te int64, tau float64) Pl
 			InWindow:     inWindow,
 			BruteForce:   s.openLeaf,
 			Compressed:   s.codes != nil,
+			Cold:         s.cold,
 		})
 		plan.TotalInWindow += inWindow
 	}
@@ -185,6 +201,7 @@ func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, t
 	plan.Search = out.Search
 	plan.Merge = out.Merge
 	plan.Rerank = out.Rerank
+	plan.Fetch = out.Fetch
 	// planLocked emits exactly one subtask per selection, in order, so the
 	// executed results annotate the static blocks 1:1. The annotations are
 	// copied out of the outcome before the scratch is returned to its pool.
@@ -193,6 +210,12 @@ func (ix *Index) SearchExplainContext(ctx context.Context, q []float32, k int, t
 		plan.Blocks[i].Duration = sr.Duration
 		plan.Blocks[i].Skipped = sr.Skipped
 		plan.Blocks[i].Found = sr.Found
+		plan.Blocks[i].Fetch = sr.Fetch
+		// A cold block's compressed flag is only knowable once the fetch
+		// resolved the payload; the executed kind carries it.
+		if sr.Cold && sr.Kind == exec.CompressedGraph {
+			plan.Blocks[i].Compressed = true
+		}
 	}
 	putScratch(scr)
 	return res, plan

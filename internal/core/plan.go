@@ -98,6 +98,21 @@ func (ix *Index) planLocked(scr *Scratch, sel []selection, q []float32, k int, t
 			st.Kind = exec.BruteScan
 			lo, hi := bsbf.WindowOf(ix.times[s.lo:s.hi], ts, te)
 			st.ScanLo, st.ScanHi = s.lo+lo, s.lo+hi
+		} else if s.cold {
+			// Spilled block: the kernel inputs except the payload. Entry
+			// seeds are still drawn here, in selection order, so results
+			// are bit-identical to the RAM-resident plan. RerankK is
+			// preset because whether the fetched payload carries codes is
+			// unknown until the fetch stage resolves it.
+			st.Kind = exec.GraphSearch
+			st.Cold = true
+			st.Cache = ix.cache
+			st.CacheKey = uint64(s.id)
+			st.Params = p
+			st.Entries = ix.pickEntriesLocked(scr, s, rng, ent)
+			st.Times = ix.times[s.lo:s.hi]
+			st.Ts, st.Te = ts, te
+			st.RerankK = exec.RerankK(k, ix.opts.RerankFactor, s.hi-s.lo)
 		} else {
 			st.Kind = exec.GraphSearch
 			st.Graph = s.g

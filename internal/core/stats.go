@@ -30,6 +30,10 @@ type Stats struct {
 	// CodeBytes is the total memory of all blocks' SQ8 codes (codes,
 	// per-dim parameters, and cached norms).
 	CodeBytes int64
+	// SpilledBlocks counts blocks whose payload lives in a segment file
+	// instead of RAM; SpilledBytes is their total on-disk size.
+	SpilledBlocks int
+	SpilledBytes  int64
 }
 
 // Stats returns a snapshot of the index shape.
@@ -46,13 +50,19 @@ func (ix *Index) Stats() Stats {
 			s.BlocksPerLevel = append(s.BlocksPerLevel, 0)
 		}
 		s.BlocksPerLevel[b.Height]++
-		s.GraphEdges += int64(b.Graph.NumEdges())
+		if b.Graph != nil {
+			s.GraphEdges += int64(b.Graph.NumEdges())
+		}
 		if b.Height > s.TreeHeight {
 			s.TreeHeight = b.Height
 		}
 		if b.Codes != nil {
 			s.CompressedBlocks++
 			s.CodeBytes += int64(b.Codes.Bytes())
+		}
+		if b.Spilled {
+			s.SpilledBlocks++
+			s.SpilledBytes += b.SegBytes
 		}
 	}
 	for _, root := range ix.forest {
@@ -99,24 +109,36 @@ func (ix *Index) checkInvariantsLocked() error {
 		if b.Len() != want {
 			return fmt.Errorf("mbi: block %d (height %d) covers %d vectors, want %d", i, b.Height, b.Len(), want)
 		}
-		if b.Graph == nil {
-			return fmt.Errorf("mbi: block %d has no graph", i)
-		}
-		if err := b.Graph.Validate(); err != nil {
-			return fmt.Errorf("mbi: block %d: %w", i, err)
-		}
-		if b.Graph.NumNodes() != b.Len() {
-			return fmt.Errorf("mbi: block %d graph has %d nodes for %d vectors", i, b.Graph.NumNodes(), b.Len())
-		}
-		if b.Codes != nil {
-			if err := b.Codes.Validate(); err != nil {
+		if b.Spilled {
+			// A spilled block's payload lives in its segment; the RAM side
+			// must be fully released and tiered storage configured to page
+			// it back. Its range/child structure is still checked below.
+			if b.Graph != nil || b.Codes != nil {
+				return fmt.Errorf("mbi: spilled block %d still holds a RAM payload", i)
+			}
+			if ix.opts.Spill == nil {
+				return fmt.Errorf("mbi: block %d is spilled but no spill config is set", i)
+			}
+		} else {
+			if b.Graph == nil {
+				return fmt.Errorf("mbi: block %d has no graph", i)
+			}
+			if err := b.Graph.Validate(); err != nil {
 				return fmt.Errorf("mbi: block %d: %w", i, err)
 			}
-			if b.Codes.Dim != ix.opts.Dim {
-				return fmt.Errorf("mbi: block %d codes have dim %d, want %d", i, b.Codes.Dim, ix.opts.Dim)
+			if b.Graph.NumNodes() != b.Len() {
+				return fmt.Errorf("mbi: block %d graph has %d nodes for %d vectors", i, b.Graph.NumNodes(), b.Len())
 			}
-			if b.Codes.N != b.Len() {
-				return fmt.Errorf("mbi: block %d codes cover %d vectors, want %d", i, b.Codes.N, b.Len())
+			if b.Codes != nil {
+				if err := b.Codes.Validate(); err != nil {
+					return fmt.Errorf("mbi: block %d: %w", i, err)
+				}
+				if b.Codes.Dim != ix.opts.Dim {
+					return fmt.Errorf("mbi: block %d codes have dim %d, want %d", i, b.Codes.Dim, ix.opts.Dim)
+				}
+				if b.Codes.N != b.Len() {
+					return fmt.Errorf("mbi: block %d codes cover %d vectors, want %d", i, b.Codes.N, b.Len())
+				}
 			}
 		}
 		if b.Height > 0 {
@@ -242,6 +264,7 @@ func Restore(opts Options, store *vec.Store, times []int64, blocks []Block, fore
 		openLo: openLo,
 	}
 	ix.entrySalt, ix.executor = queryState(opts)
+	ix.cache = newBlockCache(opts)
 	if err := ix.CheckInvariants(); err != nil {
 		return nil, err
 	}

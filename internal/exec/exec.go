@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blockcache"
 	"repro/internal/graph"
 	"repro/internal/sq"
 	"repro/internal/theap"
@@ -120,6 +121,17 @@ type Subtask struct {
 	Codes   *sq.Codes
 	RerankK int
 
+	// Cold inputs: a cold subtask's block payload was spilled to a
+	// segment file, so Graph and Codes start nil and the fetch stage
+	// resolves them by paging Cache entry CacheKey in before the kernel
+	// runs (pinned across it). A failed fetch leaves the subtask skipped,
+	// degrading the query to Partial rather than erroring. Kind is
+	// GraphSearch at plan time; the kernel upgrades to CompressedGraph
+	// when the fetched payload carries codes (RerankK must be preset).
+	Cold     bool
+	Cache    *blockcache.Cache
+	CacheKey uint64
+
 	// Run, when non-nil, overrides the built-in kernels: it returns up to
 	// the plan's K neighbors with global ids in ascending distance order
 	// and is called at most once, possibly on a pool goroutine. Tests and
@@ -156,6 +168,13 @@ type SubtaskResult struct {
 	// over-fetched candidates against the float32 store (zero for
 	// uncompressed subtasks). It is contained in Duration.
 	Rerank time.Duration
+	// Cold reports that the subtask's block was spilled and its payload
+	// had to come through the block cache; Fetch is the time that page-in
+	// took (cache hits make it near-zero). Fetch is not contained in
+	// Duration — with overlap enabled it runs concurrently with other
+	// subtasks' kernels.
+	Cold  bool
+	Fetch time.Duration
 }
 
 // Outcome describes how a plan executed: the per-stage timings the server
@@ -175,6 +194,11 @@ type Outcome struct {
 	// exceed its share of the wall-clock Search. Zero for uncompressed
 	// plans.
 	Rerank time.Duration
+	// Fetch is the summed time cold subtasks spent paging their block
+	// payloads in from the segment cache. It is CPU-and-disk time that
+	// overlaps the Search wall clock: hot kernels run while the fetch
+	// stage reads, so Fetch can exceed its visible share of Search.
+	Fetch time.Duration
 	// Merge is the duration of the final theap.Merge combine.
 	Merge time.Duration
 	// Subtasks records per-subtask execution, in plan order.
@@ -252,11 +276,19 @@ func (e Executor) RunScratch(ctx context.Context, p Plan, scr *Scratch) ([]theap
 	}
 	if workers <= 1 {
 		scr.ensureWorkers(1)
-		for i := 0; i < n; i++ {
-			if ctx.Err() != nil {
-				break
+		if planHasCold(plan) {
+			// Cold plans leave the allocation-free contract: the fetch
+			// stage overlaps hot kernels with segment page-ins via a
+			// prefetch goroutine.
+			//lint:ignore hotpath-alloc cold-plan fetch stage allocates by design (prefetch fan-out)
+			scr.runSeqCold(ctx, plan, out.Subtasks, lists)
+		} else {
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				scr.runOne(ctx, plan, i, 0, out.Subtasks, lists)
 			}
-			scr.runOne(ctx, plan, i, 0, out.Subtasks, lists)
 		}
 	} else {
 		scr.ensureWorkers(workers)
@@ -277,6 +309,7 @@ func (e Executor) RunScratch(ctx context.Context, p Plan, scr *Scratch) ([]theap
 	completed := lists[:0]
 	for i := range lists {
 		out.Rerank += out.Subtasks[i].Rerank
+		out.Fetch += out.Subtasks[i].Fetch
 		if out.Subtasks[i].Skipped {
 			out.Partial = true
 		} else if len(lists[i]) > 0 {

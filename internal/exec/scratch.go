@@ -119,6 +119,13 @@ func (s *Scratch) runOne(ctx context.Context, p *Plan, i, slot int, results []Su
 			return
 		}
 	}
+	if p.Subtasks[i].Cold {
+		// Cold subtask on a worker slot: fetch inline — other workers'
+		// hot kernels overlap the page-in naturally.
+		//lint:ignore hotpath-alloc cold-fetch path; all-hot plans never reach it
+		s.runCold(ctx, p, i, slot, results, lists)
+		return
+	}
 	start := time.Now()
 	lists[i] = s.runSubtask(ctx, p, i, slot)
 	r := &results[i]

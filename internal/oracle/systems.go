@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"context"
+	"os"
 
 	tknn "repro"
 	"repro/internal/core"
@@ -118,6 +119,43 @@ func newSystems(cfg Config) ([]*system, func(), error) {
 		},
 		exact: func(q tknn.Query) bool { return planIsBruteForce(mbiSQ8.Explain(q.Start, q.End)) },
 		floor: func(Config) float64 { return sq8RecallFloor },
+	})
+
+	// MBI with tiered storage: cold blocks spilled to segment files
+	// before every search, paged back through a deliberately tiny block
+	// cache so queries constantly cross the fetch path. Cold execution
+	// draws entry seeds at plan time in selection order, so its answers
+	// are bit-identical to the RAM-resident index's — the plain graph
+	// floor applies, and any divergence (torn segment accepted, stale
+	// payload, fetch reordering) surfaces as a recall or exactness
+	// violation.
+	tierDir, err := os.MkdirTemp("", "tknn-oracle-tier-")
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	closers = append(closers, func() { _ = os.RemoveAll(tierDir) })
+	mbiTiered, err := tknn.NewMBI(tknn.MBIOptions{
+		Dim: cfg.Dim, Metric: cfg.Metric, LeafSize: cfg.LeafSize, Seed: cfg.Seed + 1,
+		SpillDir: tierDir, CacheBytes: 1 << 16, SpillMaxHeight: 64,
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	systems = append(systems, &system{
+		name: "mbi-tiered",
+		add:  mbiTiered.Add,
+		search: func(q tknn.Query) ([]tknn.Result, error) {
+			// Spill before searching so newly sealed blocks go cold as the
+			// replay grows the index; already-spilled blocks are no-ops.
+			if _, _, err := mbiTiered.SpillCold(); err != nil {
+				return nil, err
+			}
+			return mbiTiered.SearchContext(context.Background(), q)
+		},
+		exact: func(q tknn.Query) bool { return planIsBruteForce(mbiTiered.Explain(q.Start, q.End)) },
+		floor: graphFloor,
 	})
 
 	// SF with no graph build: every query falls through to the exact

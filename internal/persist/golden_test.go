@@ -21,12 +21,14 @@ func TestFormatGolden(t *testing.T) {
 	}
 	sum := sha256.Sum256(buf.Bytes())
 	got := hex.EncodeToString(sum[:])
-	// Version 3: optional per-block SQ8 codes sections (bumped from
-	// version 2, hash
+	// Version 4: per-block location bytes for tiered storage (bumped from
+	// version 3, hash
+	// 54e983150a9251d32fb2e03ec0f27012cafb6c90c2e05c21fe80589e75d1549c;
+	// version 2 was
 	// bc0c0c83a06eca4422b53009b9066151349a32280d1d345a8eb3dfa63fc74557;
 	// version 1 was
 	// 1e85c57c3793aa62869fece26c1fafbecb7b2b154ee7a58ebbc3a46ea955968a).
-	const want = "54e983150a9251d32fb2e03ec0f27012cafb6c90c2e05c21fe80589e75d1549c"
+	const want = "e0dbf0494e78f243d0fcef2f5f1bf8cb9594de7a61218ede93bf5690be25f5fb"
 	if got != want {
 		t.Fatalf("serialized format changed: sha256 = %s (was %s); see comment above", got, want)
 	}

@@ -51,6 +51,41 @@ func saveMBIOld(t *testing.T, ix *core.Index, ver uint32) []byte {
 	return buf.Bytes()
 }
 
+// saveMBIv3 serializes ix in the version-3 MBI format: per-block codes
+// presence byte, no location byte. Byte-exact with the v3 writer so the
+// legacy-load test exercises files v3 binaries produced.
+func saveMBIv3(t *testing.T, ix *core.Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	cw := &crcWriter{w: bw}
+	store := ix.Store()
+	times := ix.Times()
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(writeInts(cw, uint64(magic), uint64(minCodeVersion)))
+	check(binaryWrite(cw, kindMBI, uint8(ix.Options().Metric), uint32(store.Dim()), uint64(len(times))))
+	check(writeData(cw, store, times))
+	blocks := ix.Blocks()
+	forest := ix.Forest()
+	check(writeInts(cw, uint64(ix.Options().LeafSize), uint64(ix.OpenLo()), uint64(len(blocks)), uint64(len(forest))))
+	for _, root := range forest {
+		check(writeInts(cw, uint64(root)))
+	}
+	for _, b := range blocks {
+		check(writeInts(cw, uint64(b.Lo), uint64(b.Hi), uint64(b.Height)))
+		check(writeGraph(cw, b.Graph))
+		check(writeCodes(cw, b.Codes))
+	}
+	check(writeFooter(bw, cw.sum))
+	check(bw.Flush())
+	return buf.Bytes()
+}
+
 // buildCompressedMBI is buildMBI with SQ8 compression on every sealed
 // block.
 func buildCompressedMBI(t *testing.T, n int) *core.Index {
@@ -94,6 +129,51 @@ func TestLegacyV2Loads(t *testing.T) {
 		if b.Codes != nil {
 			t.Fatal("version-2 file restored with codes")
 		}
+	}
+	q := make([]float32, 6)
+	want, _ := ix.SearchContext(context.Background(), q, 5, 0, 1<<40)
+	have, _ := got.SearchContext(context.Background(), q, 5, 0, 1<<40)
+	if len(want) != len(have) {
+		t.Fatalf("loaded index found %d results, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("result %d: loaded %v, original %v", i, have[i], want[i])
+		}
+	}
+}
+
+// TestLegacyV3Loads feeds the loader a byte-exact version-3 file (codes
+// presence bytes, no location bytes) and checks codes and search results
+// survive the load.
+func TestLegacyV3Loads(t *testing.T) {
+	ix := buildCompressedMBI(t, 45)
+	raw := saveMBIv3(t, ix)
+	got, err := LoadMBI(bytes.NewReader(raw), ix.Options())
+	if err != nil {
+		t.Fatalf("LoadMBI rejected a version-3 file: %v", err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	orig := ix.Blocks()
+	hasCodes := false
+	for i, b := range got.Blocks() {
+		if b.Spilled {
+			t.Fatal("version-3 file restored with spilled blocks")
+		}
+		if (b.Codes == nil) != (orig[i].Codes == nil) {
+			t.Fatalf("block %d: codes presence changed across v3 load", i)
+		}
+		if b.Codes != nil {
+			hasCodes = true
+			if !bytes.Equal(b.Codes.Data, orig[i].Codes.Data) {
+				t.Fatalf("block %d: codes not byte-identical after v3 load", i)
+			}
+		}
+	}
+	if !hasCodes {
+		t.Fatal("test index built no codes")
 	}
 	q := make([]float32, 6)
 	want, _ := ix.SearchContext(context.Background(), q, 5, 0, 1<<40)

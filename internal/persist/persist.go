@@ -32,12 +32,19 @@ import (
 // Format constants.
 const (
 	magic = uint32(0x4d424958) // "MBIX"
-	// version 3 added optional per-block SQ8 codes; version 2 appended the
-	// CRC32C footer. Both predecessors remain readable.
-	version        = uint32(3)
-	crcVersion     = uint32(2)
-	legacyVersion  = uint32(1)
-	minCodeVersion = uint32(3) // first version carrying per-block codes
+	// version 4 added a per-block location byte so spilled blocks persist
+	// as segment references instead of inline payloads; version 3 added
+	// optional per-block SQ8 codes; version 2 appended the CRC32C footer.
+	// All predecessors remain readable.
+	version         = uint32(4)
+	crcVersion      = uint32(2)
+	legacyVersion   = uint32(1)
+	minCodeVersion  = uint32(3) // first version carrying per-block codes
+	minSpillVersion = uint32(4) // first version carrying per-block location bytes
+
+	// Per-block location byte values (v4+).
+	locInline  = uint8(0) // graph (+codes) follow inline
+	locSpilled = uint8(1) // payload lives in the block's segment file; u64 size follows
 
 	kindMBI = uint8(0)
 	kindSF  = uint8(1)
@@ -151,6 +158,23 @@ func SaveMBI(w io.Writer, ix *core.Index) error {
 		if err := writeInts(cw, uint64(b.Lo), uint64(b.Hi), uint64(b.Height)); err != nil {
 			return err
 		}
+		if b.Spilled {
+			// Spilled block: the snapshot records a segment reference,
+			// not the payload — recovery composes snapshot + segment
+			// files + WAL suffix. The spill happened before this
+			// snapshot was cut (checkpoint orders it), so the segment
+			// is already durable.
+			if err := binaryWrite(cw, locSpilled); err != nil {
+				return err
+			}
+			if err := writeInts(cw, uint64(b.SegBytes)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := binaryWrite(cw, locInline); err != nil {
+			return err
+		}
 		if err := writeGraph(cw, b.Graph); err != nil {
 			return err
 		}
@@ -210,15 +234,34 @@ func LoadMBI(r io.Reader, opts core.Options) (*core.Index, error) {
 		if err := readInts(cr, &lo, &hi, &height); err != nil {
 			return nil, err
 		}
-		g, err := readGraph(cr)
-		if err != nil {
-			return nil, err
-		}
-		b := core.Block{Lo: int(lo), Hi: int(hi), Height: int(height), Graph: g}
-		if ver >= minCodeVersion {
-			if b.Codes, err = readCodes(cr); err != nil {
+		loc := locInline
+		if ver >= minSpillVersion {
+			if err := binaryRead(cr, &loc); err != nil {
 				return nil, err
 			}
+		}
+		b := core.Block{Lo: int(lo), Hi: int(hi), Height: int(height)}
+		switch loc {
+		case locSpilled:
+			var segBytes uint64
+			if err := readInts(cr, &segBytes); err != nil {
+				return nil, err
+			}
+			b.Spilled = true
+			b.SegBytes = int64(segBytes)
+		case locInline:
+			g, err := readGraph(cr)
+			if err != nil {
+				return nil, err
+			}
+			b.Graph = g
+			if ver >= minCodeVersion {
+				if b.Codes, err = readCodes(cr); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("persist: bad block location byte %d", loc)
 		}
 		blocks = append(blocks, b)
 	}
@@ -336,7 +379,7 @@ func readHeader(r io.Reader, wantKind uint8) (uint32, vec.Metric, int, int, erro
 	if uint32(m) != magic {
 		return 0, 0, 0, 0, fmt.Errorf("persist: bad magic %#x", m)
 	}
-	if uint32(v) != version && uint32(v) != crcVersion && uint32(v) != legacyVersion {
+	if uint32(v) < legacyVersion || uint32(v) > version {
 		return 0, 0, 0, 0, fmt.Errorf("persist: unsupported version %d", v)
 	}
 	var kind, metric uint8

@@ -24,13 +24,15 @@ type metrics struct {
 	insertLatency  histogram
 	// Per-stage search breakdown, exposed as one histogram family with a
 	// stage label
-	// (tknn_search_stage_seconds{stage="select"|"search"|"merge"|"rerank"}).
+	// (tknn_search_stage_seconds{stage="select"|"search"|"merge"|"rerank"|"fetch"}).
 	// Rerank is contained in the search stage and stays at zero on
-	// uncompressed indexes.
+	// uncompressed indexes; fetch is cold-block cache page-in time,
+	// overlapping search, and stays at zero on all-RAM indexes.
 	stageSelect histogram
 	stageSearch histogram
 	stageMerge  histogram
 	stageRerank histogram
+	stageFetch  histogram
 }
 
 // histogram is a fixed-bucket latency histogram. Bounds are cumulative
@@ -134,6 +136,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.stageSearch.writeLabeled(w, "tknn_search_stage_seconds", `stage="search"`)
 	m.stageMerge.writeLabeled(w, "tknn_search_stage_seconds", `stage="merge"`)
 	m.stageRerank.writeLabeled(w, "tknn_search_stage_seconds", `stage="rerank"`)
+	m.stageFetch.writeLabeled(w, "tknn_search_stage_seconds", `stage="fetch"`)
+	if cs, ok := s.ix.CacheStats(); ok {
+		fmt.Fprintf(w, "# HELP tknn_block_cache_hits_total Block cache lookups served from RAM.\n")
+		fmt.Fprintf(w, "# TYPE tknn_block_cache_hits_total counter\n")
+		fmt.Fprintf(w, "tknn_block_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "# HELP tknn_block_cache_misses_total Block cache lookups that loaded a segment from disk.\n")
+		fmt.Fprintf(w, "# TYPE tknn_block_cache_misses_total counter\n")
+		fmt.Fprintf(w, "tknn_block_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# HELP tknn_block_cache_evictions_total Block payloads evicted to stay under the byte bound.\n")
+		fmt.Fprintf(w, "# TYPE tknn_block_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "tknn_block_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP tknn_block_cache_bytes Resident block payload bytes in the cache.\n")
+		fmt.Fprintf(w, "# TYPE tknn_block_cache_bytes gauge\n")
+		fmt.Fprintf(w, "tknn_block_cache_bytes %d\n", cs.Bytes)
+	}
 	fmt.Fprintf(w, "# HELP tknn_insert_latency_seconds Per-request insert latency.\n")
 	fmt.Fprintf(w, "# TYPE tknn_insert_latency_seconds histogram\n")
 	m.insertLatency.write(w, "tknn_insert_latency_seconds")

@@ -243,6 +243,10 @@ type SearchStages struct {
 	// candidates, contained in SearchSeconds; zero on uncompressed
 	// indexes.
 	RerankSeconds float64 `json:"rerankSeconds,omitempty"`
+	// FetchSeconds is the time cold (spilled) blocks spent paging their
+	// payloads through the block cache. It overlaps SearchSeconds and is
+	// zero on all-RAM indexes.
+	FetchSeconds float64 `json:"fetchSeconds,omitempty"`
 }
 
 // SearchResponse is the /search response body.
@@ -310,6 +314,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.stageSearch.observe(info.Search)
 	s.metrics.stageMerge.observe(info.Merge)
 	s.metrics.stageRerank.observe(info.Rerank)
+	s.metrics.stageFetch.observe(info.Fetch)
 	if info.Partial {
 		s.metrics.searchPartials.Add(1)
 	}
@@ -321,6 +326,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			SearchSeconds: info.Search.Seconds(),
 			MergeSeconds:  info.Merge.Seconds(),
 			RerankSeconds: info.Rerank.Seconds(),
+			FetchSeconds:  info.Fetch.Seconds(),
 		},
 	}
 	for i, n := range res {

@@ -30,6 +30,21 @@ type Target interface {
 	Len() int
 }
 
+// Spiller is the optional tiered-storage surface of a Target. When the
+// managed index implements it, Checkpoint spills cold blocks to their
+// segment files *before* cutting the snapshot, so every segment
+// reference the snapshot records is already durable — recovery composes
+// snapshot + segment files + WAL suffix. A Target without tiering (or
+// with it disabled) simply doesn't implement this, or returns (0, 0,
+// nil).
+type Spiller interface {
+	// SpillCold writes cold sealed blocks to durable segment files and
+	// releases their RAM payloads. It reports blocks spilled and bytes
+	// written; a partially-failed pass releases only the blocks whose
+	// segments were written, never leaving the index unreadable.
+	SpillCold() (int, int64, error)
+}
+
 // RestoreFunc builds the Target at startup. snapshot is nil when no
 // usable checkpoint exists (start empty); otherwise it reads a file
 // written by Target.Save. Open may call it more than once if a newer
@@ -492,6 +507,19 @@ func (m *Manager) Checkpoint() (CheckpointInfo, error) {
 		if err := m.rotateLocked(); err != nil {
 			m.broken = err
 			return CheckpointInfo{}, err
+		}
+	}
+
+	// Spill before snapshotting: the snapshot may then record segment
+	// references instead of payloads, and every segment it references is
+	// durable before the snapshot exists. A failed spill is logged, not
+	// fatal — unspilled blocks stay inline in the snapshot, which is
+	// merely bigger, never wrong.
+	if sp, ok := m.target.(Spiller); ok {
+		if blocks, bytes, err := sp.SpillCold(); err != nil {
+			m.logf("wal: spilling cold blocks before checkpoint: %v", err)
+		} else if blocks > 0 {
+			m.logf("wal: spilled %d cold blocks (%d bytes) before checkpoint", blocks, bytes)
 		}
 	}
 

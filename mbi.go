@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/blockcache"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -121,6 +122,21 @@ type MBIOptions struct {
 	// re-rank. 0 uses the executor default (4). Ignored without
 	// Compression.
 	RerankFactor int
+	// SpillDir, when set, enables tiered storage: SpillCold writes
+	// sealed blocks at or below SpillMaxHeight into per-block segment
+	// files under this directory and releases their RAM payloads;
+	// queries page spilled blocks back through a bounded LRU block
+	// cache. Empty (the default) keeps the whole index RAM-resident.
+	SpillDir string
+	// CacheBytes bounds the block cache's resident payload bytes.
+	// Default 256 MiB. Blocks pinned by in-flight queries may push the
+	// cache past the bound transiently; it drains back as they finish.
+	// Ignored without SpillDir.
+	CacheBytes int64
+	// SpillMaxHeight is the tallest block height SpillCold moves to
+	// disk; taller blocks (and the open leaf) always stay in RAM.
+	// Default 8. Ignored without SpillDir.
+	SpillMaxHeight int
 }
 
 // ApplyDefaults fills unset fields with their defaults and validates the
@@ -165,6 +181,20 @@ func (o *MBIOptions) ApplyDefaults() error {
 	if o.RerankFactor < 0 {
 		return fmt.Errorf("tknn: RerankFactor must be non-negative, got %d", o.RerankFactor)
 	}
+	if o.SpillMaxHeight < 0 {
+		return fmt.Errorf("tknn: SpillMaxHeight must be non-negative, got %d", o.SpillMaxHeight)
+	}
+	if o.CacheBytes < 0 {
+		return fmt.Errorf("tknn: CacheBytes must be non-negative, got %d", o.CacheBytes)
+	}
+	if o.SpillDir != "" {
+		if o.CacheBytes == 0 {
+			o.CacheBytes = 256 << 20
+		}
+		if o.SpillMaxHeight == 0 {
+			o.SpillMaxHeight = 8
+		}
+	}
 	return nil
 }
 
@@ -176,6 +206,29 @@ func (o MBIOptions) builder() (graph.Builder, error) {
 		return nsw.New(nsw.DefaultConfig(o.GraphDegree))
 	default:
 		return nil, fmt.Errorf("tknn: unknown graph algorithm %d", o.Graph)
+	}
+}
+
+// spillConfig wires the core index's tiered storage to persist's
+// per-block segment files under SpillDir. Nil without SpillDir.
+func (o MBIOptions) spillConfig() *core.SpillConfig {
+	if o.SpillDir == "" {
+		return nil
+	}
+	dir, dim := o.SpillDir, o.Dim
+	return &core.SpillConfig{
+		Write: func(id, lo, hi, height int, g *graph.CSR, c *sq.Codes) (int64, error) {
+			return persist.WriteSegmentFile(dir, id, lo, hi, height, dim, g, c)
+		},
+		Load: func(ctx context.Context, key uint64) (blockcache.Value, error) {
+			g, c, _, _, err := persist.ReadSegmentFile(dir, int(key), dim)
+			if err != nil {
+				return blockcache.Value{}, err
+			}
+			return blockcache.Value{Graph: g, Codes: c}, nil
+		},
+		MaxHeight:  o.SpillMaxHeight,
+		CacheBytes: o.CacheBytes,
 	}
 }
 
@@ -198,6 +251,7 @@ func (o MBIOptions) coreOptions() (core.Options, error) {
 		Compression:       o.Compression.internal(),
 		CompressMinHeight: o.CompressMinHeight,
 		RerankFactor:      o.RerankFactor,
+		Spill:             o.spillConfig(),
 	}, nil
 }
 
@@ -372,6 +426,30 @@ func (m *MBI) SearchExplain(ctx context.Context, q Query) ([]Result, core.Plan, 
 	ns, plan := m.inner.SearchExplainContext(ctx, q.Vector, q.K, q.Start, q.End, m.opts.Tau, m.inner.Options().Search, nil)
 	return toResults(ns, m.inner.Times()), plan, nil
 }
+
+// SpillCold writes sealed blocks at or below SpillMaxHeight into their
+// segment files under SpillDir and releases their RAM payloads,
+// returning blocks spilled and segment bytes written. Every released
+// block's segment is durable (fsynced and renamed into place) before
+// the RAM copy is dropped. A no-op (0, 0, nil) without SpillDir.
+// SpillCold implements wal.Spiller, so a WAL-managed tiered index
+// spills automatically on every checkpoint.
+func (m *MBI) SpillCold() (int, int64, error) {
+	if m.opts.SpillDir == "" {
+		return 0, 0, nil
+	}
+	return m.inner.SpillCold()
+}
+
+// CacheStats reports the block cache's counters. ok is false without
+// SpillDir (there is no cache).
+func (m *MBI) CacheStats() (stats blockcache.Stats, ok bool) {
+	return m.inner.CacheStats()
+}
+
+// SetCacheBytes rebounds the block cache at runtime (benchmarks sweep
+// it). It panics without SpillDir.
+func (m *MBI) SetCacheBytes(n int64) { m.inner.SetCacheBytes(n) }
 
 // Save serializes the index to w; LoadMBI restores it. Save must not run
 // concurrently with Add (it shares Add's single-writer role); it flushes

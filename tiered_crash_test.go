@@ -1,0 +1,329 @@
+package tknn_test
+
+import (
+	"context"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	tknn "repro"
+	"repro/internal/persist"
+	"repro/internal/wal"
+)
+
+// Crash-recovery tests across the spill boundary: a tiered index whose
+// cold blocks live in per-block segment files must recover the exact
+// acknowledged state by composing the newest snapshot, the segments it
+// references, and the WAL suffix; reject torn segments by CRC instead of
+// serving garbage; and ignore the debris a crash during a segment write
+// leaves behind.
+
+const (
+	tierDim      = 8
+	tierLeafSize = 16
+)
+
+// tierOpts configures tiered storage the way cmd/tknnd does: segments
+// live beside the WAL, and a deliberately tiny cache keeps every cold
+// query on the fetch path. SpillMaxHeight 64 makes every sealed block
+// spill-eligible so the tests cross the boundary as often as possible.
+func tierOpts(dataDir string) tknn.MBIOptions {
+	return tknn.MBIOptions{
+		Dim:            tierDim,
+		LeafSize:       tierLeafSize,
+		SpillDir:       filepath.Join(dataDir, "segments"),
+		CacheBytes:     1 << 16,
+		SpillMaxHeight: 64,
+	}
+}
+
+func tierRestore(opts tknn.MBIOptions) wal.RestoreFunc {
+	return func(snapshot io.Reader) (wal.Target, error) {
+		if snapshot == nil {
+			return tknn.NewMBI(opts)
+		}
+		return tknn.LoadMBI(snapshot, opts)
+	}
+}
+
+func tierVecs(n int) [][]float32 {
+	rng := rand.New(rand.NewSource(21))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, tierDim)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// assertExactAt verifies each listed vector is findable at its own
+// timestamp with distance zero — byte-exact recovery, not approximate.
+func assertExactAt(t *testing.T, ix *tknn.MBI, vecs [][]float32, idxs ...int) {
+	t.Helper()
+	for _, i := range idxs {
+		res, err := ix.Search(tknn.Query{Vector: vecs[i], K: 1, Start: int64(i), End: int64(i) + 1})
+		if err != nil {
+			t.Fatalf("Search %d: %v", i, err)
+		}
+		if len(res) != 1 || res[0].Time != int64(i) || res[0].Dist != 0 {
+			t.Fatalf("vector %d not recovered exactly: %+v", i, res)
+		}
+	}
+}
+
+// requireColdPlan fails the test unless the full-window plan actually
+// graph-searches at least one block — the condition under which segment
+// damage must surface. Without it the assertions below would pass
+// vacuously on an all-brute-force plan.
+func requireColdPlan(t *testing.T, ix *tknn.MBI, start, end int64) {
+	t.Helper()
+	for _, b := range ix.Explain(start, end).Blocks {
+		if !b.BruteForce {
+			return
+		}
+	}
+	t.Fatal("full-window plan is all brute force; the test would not touch segments")
+}
+
+// cloneTree copies a data directory including its segments/ subdir into
+// a fresh temp directory, so each trial maims its own copy.
+func cloneTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel == "." {
+				return nil
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("cloning %s: %v", src, err)
+	}
+	return dst
+}
+
+// TestTieredKillAfterCheckpointRecoversExactly checkpoints (which spills
+// cold blocks first), keeps appending, then simulates a SIGKILL — the
+// Manager is abandoned without Close — with a torn segment temp file
+// left behind, exactly as a crash mid-spill would leave it. Recovery
+// must compose snapshot + segments + WAL suffix into the full
+// acknowledged state and keep working.
+func TestTieredKillAfterCheckpointRecoversExactly(t *testing.T) {
+	dir := t.TempDir()
+	opts := tierOpts(dir)
+	cfg := wal.Config{Dir: dir, Sync: wal.SyncNever, SegmentBytes: 1 << 12}
+	const cpAt, total = 160, 200
+	vecs := tierVecs(total + 1)
+
+	m, err := wal.Open(cfg, tierRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < cpAt; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ix := m.Index().(*tknn.MBI)
+	if st := ix.Internal().Stats(); st.SpilledBlocks == 0 {
+		t.Fatal("checkpoint spilled no blocks; the test never crosses the spill boundary")
+	}
+	for i := cpAt; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// SIGKILL: the manager is abandoned. A crash during a segment write
+	// leaves a torn .tmp in the segments directory; recovery and queries
+	// must ignore it (only renamed-in .seg files are ever read).
+	torn := filepath.Join(opts.SpillDir, persist.SegmentFileName(2)+".tmp")
+	if err := os.WriteFile(torn, []byte("torn segment write"), 0o644); err != nil {
+		t.Fatalf("planting torn tmp: %v", err)
+	}
+
+	m2, err := wal.Open(cfg, tierRestore(opts))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	ix2 := m2.Index().(*tknn.MBI)
+	if got := ix2.Len(); got != total {
+		t.Fatalf("recovered %d vectors, want %d", got, total)
+	}
+	if err := ix2.Internal().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+	if st := ix2.Internal().Stats(); st.SpilledBlocks == 0 {
+		t.Fatal("restored index lost its spilled blocks")
+	}
+	assertExactAt(t, ix2, vecs, 0, cpAt-1, cpAt, total-1)
+
+	// A full-window query pages every selected segment back in: with the
+	// segments intact the answer is complete, not partial.
+	requireColdPlan(t, ix2, 0, total)
+	q := tknn.Query{Vector: vecs[3], K: 10, Start: 0, End: total}
+	res, info, err := ix2.SearchDetailed(context.Background(), q)
+	if err != nil {
+		t.Fatalf("SearchDetailed: %v", err)
+	}
+	if info.Partial {
+		t.Fatal("query over intact segments reported Partial")
+	}
+	if len(res) != q.K {
+		t.Fatalf("got %d results, want %d", len(res), q.K)
+	}
+
+	// The recovered manager keeps working: append, checkpoint (spilling
+	// the newly sealed blocks), clean restart.
+	if err := m2.Append(vecs[total], int64(total)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if _, err := m2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	m3, err := wal.Open(cfg, tierRestore(opts))
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer func() {
+		if err := m3.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	ix3 := m3.Index().(*tknn.MBI)
+	if got := ix3.Len(); got != total+1 {
+		t.Fatalf("after checkpointed restart index holds %d vectors, want %d", got, total+1)
+	}
+	assertExactAt(t, ix3, vecs, total)
+}
+
+// TestTieredTornSegmentRejectedNotServed maims every segment file —
+// truncation at a random offset in half the trials, a random byte flip
+// in the other half — and asserts the damage is contained: recovery
+// still succeeds (segments are not read at load time), no vector is
+// lost from the store, and queries that need a damaged segment degrade
+// to Partial instead of erroring or serving garbage.
+func TestTieredTornSegmentRejectedNotServed(t *testing.T) {
+	fixture := t.TempDir()
+	opts := tierOpts(fixture)
+	cfg := wal.Config{Dir: fixture, Sync: wal.SyncNever, SegmentBytes: 1 << 12}
+	const total = 200
+	vecs := tierVecs(total)
+
+	m, err := wal.Open(cfg, tierRestore(opts))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < total; i++ {
+		if err := m.Append(vecs[i], int64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	openFill := m.Index().(*tknn.MBI).Internal().Stats().OpenLeafFill
+	if openFill == 0 {
+		t.Fatal("fixture has no open-leaf vectors; pick a total that is not a multiple of the leaf size")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(opts.SpillDir, "block-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing segments: %v (%d found)", err, len(segs))
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		dir := cloneTree(t, fixture)
+		copts := tierOpts(dir)
+		for _, seg := range segs {
+			path := filepath.Join(copts.SpillDir, filepath.Base(seg))
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			if trial%2 == 0 {
+				if err := os.Truncate(path, rng.Int63n(info.Size())); err != nil {
+					t.Fatalf("Truncate: %v", err)
+				}
+			} else {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("ReadFile: %v", err)
+				}
+				data[rng.Intn(len(data))] ^= 0x40
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatalf("WriteFile: %v", err)
+				}
+			}
+		}
+
+		m2, err := wal.Open(cfg2(cfg, dir), tierRestore(copts))
+		if err != nil {
+			t.Fatalf("trial %d: reopen with damaged segments: %v", trial, err)
+		}
+		ix := m2.Index().(*tknn.MBI)
+		if got := ix.Len(); got != total {
+			t.Fatalf("trial %d: recovered %d vectors, want %d", trial, got, total)
+		}
+		if err := ix.Internal().CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: invariants: %v", trial, err)
+		}
+		// The open leaf's vectors live in RAM, untouched by segment
+		// damage: point lookups there stay exact.
+		assertExactAt(t, ix, vecs, total-1, total-openFill)
+
+		// A query that needs a damaged segment must degrade to Partial —
+		// never an error, never results from a CRC-rejected payload.
+		requireColdPlan(t, ix, 0, total)
+		q := tknn.Query{Vector: vecs[3], K: 10, Start: 0, End: total}
+		res, info, err := ix.SearchDetailed(context.Background(), q)
+		if err != nil {
+			t.Fatalf("trial %d: SearchDetailed over damaged segments: %v", trial, err)
+		}
+		if !info.Partial {
+			t.Fatalf("trial %d: damaged segments served without Partial (%d results)", trial, len(res))
+		}
+		for _, r := range res {
+			if r.Time < q.Start || r.Time >= q.End {
+				t.Fatalf("trial %d: result outside window: %+v", trial, r)
+			}
+		}
+		if err := m2.Close(); err != nil {
+			t.Fatalf("trial %d: Close: %v", trial, err)
+		}
+	}
+}
+
+// cfg2 rebinds a WAL config to a cloned directory.
+func cfg2(cfg wal.Config, dir string) wal.Config {
+	cfg.Dir = dir
+	return cfg
+}

@@ -105,10 +105,15 @@ type SearchInfo struct {
 	// happens inside each compressed subtask) and is zero on
 	// uncompressed indexes.
 	Rerank time.Duration
+	// Fetch is the summed time cold (spilled) blocks spent paging their
+	// payloads through the block cache. It overlaps the Search wall
+	// clock (fetches run concurrently with hot-block kernels) and is
+	// zero on an all-RAM index or an all-hot plan.
+	Fetch time.Duration
 }
 
 func infoFrom(out exec.Outcome) SearchInfo {
-	return SearchInfo{Partial: out.Partial, Select: out.Select, Search: out.Search, Merge: out.Merge, Rerank: out.Rerank}
+	return SearchInfo{Partial: out.Partial, Select: out.Select, Search: out.Search, Merge: out.Merge, Rerank: out.Rerank, Fetch: out.Fetch}
 }
 
 // searchBatchCtx fans queries across workers with first-error-aborts
